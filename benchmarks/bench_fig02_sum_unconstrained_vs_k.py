@@ -1,0 +1,53 @@
+"""Figure 2 (Exp-I) — running time vs k: Naive / Improve / Approx.
+
+Representative dataset: email (the paper's smallest timing panel).  The
+expected shape: Naive is slowest and speeds up as k grows; Improve and
+Approx are comparable, Approx at or below Improve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.improved import tic_improved
+from repro.influential.naive_sum import sum_naive
+
+K_VALUES = (4, 6, 8, 10)
+R = 5
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bench_naive(benchmark, email, k):
+    benchmark.group = f"fig2-email-k{k}"
+    result = once(benchmark, sum_naive, email, k, R)
+    benchmark.extra_info["r_values"] = [round(v, 6) for v in result.values()]
+    assert len(result) <= R
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bench_improve(benchmark, email, k):
+    benchmark.group = f"fig2-email-k{k}"
+    result = once(benchmark, tic_improved, email, k, R)
+    benchmark.extra_info["r_values"] = [round(v, 6) for v in result.values()]
+    assert len(result) <= R
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bench_approx(benchmark, email, k):
+    benchmark.group = f"fig2-email-k{k}"
+    result = once(benchmark, tic_improved, email, k, R, None, 0.1)
+    assert len(result) <= R
+
+
+def test_shape_naive_slowest_improve_close_to_approx(email):
+    """The figure's qualitative claim, asserted directly."""
+    from repro.bench.runner import time_call
+
+    t_naive, naive = time_call(lambda: sum_naive(email, 6, R))
+    t_improve, improve = time_call(lambda: tic_improved(email, 6, R))
+    t_approx, __ = time_call(lambda: tic_improved(email, 6, R, eps=0.1))
+    assert t_naive > t_improve
+    assert t_naive > t_approx
+    # And both exact algorithms agree on the answer.
+    assert naive.values() == pytest.approx(improve.values())

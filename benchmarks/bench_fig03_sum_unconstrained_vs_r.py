@@ -1,0 +1,47 @@
+"""Figure 3 (Exp-II) — running time vs r: Naive / Improve / Approx.
+
+Representative dataset: dblp at the paper's default k = 4.  Expected
+shape: every algorithm's time grows (mildly) with r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.improved import tic_improved
+from repro.influential.naive_sum import sum_naive
+
+R_VALUES = (5, 10, 15, 20)
+K = 4
+
+
+@pytest.mark.parametrize("r", R_VALUES)
+def test_bench_naive(benchmark, dblp, r):
+    benchmark.group = f"fig3-dblp-r{r}"
+    result = once(benchmark, sum_naive, dblp, K, r)
+    assert len(result) <= r
+
+
+@pytest.mark.parametrize("r", R_VALUES)
+def test_bench_improve(benchmark, dblp, r):
+    benchmark.group = f"fig3-dblp-r{r}"
+    result = once(benchmark, tic_improved, dblp, K, r)
+    assert len(result) <= r
+
+
+@pytest.mark.parametrize("r", R_VALUES)
+def test_bench_approx(benchmark, dblp, r):
+    benchmark.group = f"fig3-dblp-r{r}"
+    result = once(benchmark, tic_improved, dblp, K, r, None, 0.1)
+    assert len(result) <= r
+
+
+def test_shape_time_grows_with_r(dblp):
+    from repro.bench.runner import time_call
+
+    t_small, __ = time_call(lambda: tic_improved(dblp, K, 1))
+    t_large, __ = time_call(lambda: tic_improved(dblp, K, 20))
+    # More communities to confirm means more expansions: r=20 cannot be
+    # meaningfully cheaper than r=1 (allow generous noise margin).
+    assert t_large >= 0.5 * t_small

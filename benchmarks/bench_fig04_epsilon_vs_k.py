@@ -1,0 +1,35 @@
+"""Figure 4 (Exp-III) — Approx running time vs k for several eps.
+
+Expected shape: the curves for different eps nearly coincide (the paper:
+"the approximated algorithm is insensitive to eps").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.improved import tic_improved
+
+K_VALUES = (4, 6, 8, 10)
+EPS_VALUES = (0.01, 0.1, 0.5)
+R = 5
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_bench_approx_eps(benchmark, email, k, eps):
+    benchmark.group = f"fig4-email-k{k}"
+    result = once(benchmark, tic_improved, email, k, R, None, eps)
+    assert len(result) <= R
+
+
+def test_shape_insensitive_to_eps(email):
+    from repro.bench.runner import time_call
+
+    times = {}
+    for eps in EPS_VALUES:
+        t, __ = time_call(lambda: tic_improved(email, 6, R, eps=eps))
+        times[eps] = t
+    # Within an order of magnitude of each other (paper: nearly unaltered).
+    assert max(times.values()) < 10 * min(times.values()) + 0.05

@@ -1,0 +1,32 @@
+"""Figure 5 (Exp-III) — Approx running time vs r for several eps.
+
+Expected shape: flat in eps, mildly increasing in r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.improved import tic_improved
+
+R_VALUES = (5, 10, 15, 20)
+EPS_VALUES = (0.01, 0.1, 0.5)
+K = 4
+
+
+@pytest.mark.parametrize("r", R_VALUES)
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_bench_approx_eps_r(benchmark, dblp, r, eps):
+    benchmark.group = f"fig5-dblp-r{r}"
+    result = once(benchmark, tic_improved, dblp, K, r, None, eps)
+    assert len(result) <= r
+
+
+def test_approx_quality_improves_with_smaller_eps(dblp):
+    """Tighter eps can only give equal-or-better r-th values."""
+    exact = tic_improved(dblp, K, 10, eps=0.0)
+    loose = tic_improved(dblp, K, 10, eps=0.5)
+    tight = tic_improved(dblp, K, 10, eps=0.01)
+    assert tight.rth_value(10) >= loose.rth_value(10) - 1e-12
+    assert tight.rth_value(10) >= (1 - 0.01) * exact.rth_value(10) - 1e-12

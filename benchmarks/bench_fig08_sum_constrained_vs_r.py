@@ -1,0 +1,30 @@
+"""Figure 8 (Exp-V) — local search time vs r, sum, size-constrained.
+
+Expected shape: insensitive to r (the algorithm computes more than r
+candidates regardless of r).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+K, S = 4, 20
+
+
+@pytest.mark.parametrize("r", (5, 10, 15, 20))
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_dblp(benchmark, dblp, r, greedy):
+    benchmark.group = f"fig8-dblp-r{r}"
+    result = once(benchmark, local_search, dblp, K, r, S, "sum", greedy)
+    assert len(result) <= r
+
+
+def test_shape_insensitive_to_r(dblp):
+    from repro.bench.runner import time_call
+
+    t_small, __ = time_call(lambda: local_search(dblp, K, 5, S, "sum"))
+    t_large, __ = time_call(lambda: local_search(dblp, K, 20, S, "sum"))
+    assert t_large < 3 * t_small + 0.05

@@ -1,0 +1,18 @@
+"""Figure 9 (Exp-V) — local search time vs r, avg, size-constrained."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+K, S = 4, 20
+
+
+@pytest.mark.parametrize("r", (5, 10, 15, 20))
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_dblp(benchmark, dblp, r, greedy):
+    benchmark.group = f"fig9-dblp-r{r}"
+    result = once(benchmark, local_search, dblp, K, r, S, "avg", greedy)
+    assert len(result) <= r

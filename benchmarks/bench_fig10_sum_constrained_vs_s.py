@@ -1,0 +1,29 @@
+"""Figure 10 (Exp-VI) — local search time vs s, sum, size-constrained.
+
+Expected shape: time grows with s (larger per-seed neighbourhoods).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+K, R = 4, 5
+
+
+@pytest.mark.parametrize("s", (5, 10, 15, 20))
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_youtube(benchmark, youtube, s, greedy):
+    benchmark.group = f"fig10-youtube-s{s}"
+    result = once(benchmark, local_search, youtube, K, R, s, "sum", greedy)
+    assert all(c.size <= s for c in result)
+
+
+def test_shape_time_grows_with_s(youtube):
+    from repro.bench.runner import time_call
+
+    t_small, __ = time_call(lambda: local_search(youtube, K, R, 5, "sum"))
+    t_large, __ = time_call(lambda: local_search(youtube, K, R, 20, "sum"))
+    assert t_large >= t_small * 0.8  # monotone up to noise

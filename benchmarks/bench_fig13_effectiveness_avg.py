@@ -1,0 +1,34 @@
+"""Figure 13 (Exp-VII) — r-th influence value, Greedy vs Random, avg.
+
+The paper's panels are Email / Youtube / FriendSter; we bench email.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.influential.local_search import local_search
+
+R, S = 5, 20
+K_VALUES = (4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("greedy", (False, True), ids=("random", "greedy"))
+def test_bench_email_quality(benchmark, email, k, greedy):
+    benchmark.group = f"fig13-email-k{k}"
+    result = once(benchmark, local_search, email, k, R, S, "avg", greedy)
+    benchmark.extra_info["rth_value"] = result.rth_value(R)
+
+
+def test_shape_greedy_dominates_random(email):
+    wins = 0
+    comparisons = 0
+    for k in K_VALUES:
+        greedy = local_search(email, k, R, S, "avg", greedy=True).rth_value(R)
+        random_ = local_search(email, k, R, S, "avg", greedy=False).rth_value(R)
+        comparisons += 1
+        if greedy >= random_:
+            wins += 1
+    assert wins * 2 >= comparisons

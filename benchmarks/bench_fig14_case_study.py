@@ -1,0 +1,41 @@
+"""Figure 14 — the Aminer case study, timed end to end.
+
+Asserts the qualitative claims: three aggregators produce non-overlapping
+top-3 groups; avg's groups are no larger than sum's (elite vs diverse).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.case_study import render_case_study, run_case_study
+
+
+def test_bench_case_study(benchmark):
+    benchmark.group = "fig14"
+    panels = once(benchmark, run_case_study)
+    assert {p.aggregator for p in panels} == {"min", "avg", "sum"}
+    for panel in panels:
+        assert len(panel.communities) == 3
+        assert panel.communities.is_pairwise_disjoint()
+
+
+def test_shape_aggregators_disagree():
+    panels = {p.aggregator: p for p in run_case_study()}
+    # avg tends to pick smaller (elite) groups than sum's diverse ones.
+    avg_sizes = sum(c.size for c in panels["avg"].communities)
+    sum_sizes = sum(c.size for c in panels["sum"].communities)
+    assert avg_sizes <= sum_sizes
+    # The three result families are not identical.
+    families = {
+        agg: frozenset(c.vertices for c in panel.communities)
+        for agg, panel in panels.items()
+    }
+    assert len(set(families.values())) >= 2
+
+
+def test_render_readable():
+    text = render_case_study(run_case_study())
+    assert "[min]" in text and "[avg]" in text and "[sum]" in text
+    assert "top-1" in text

@@ -1,0 +1,83 @@
+"""Substrate ablation — not a paper figure, but engineering due diligence:
+where does solver time go?  Core decomposition, PageRank, component
+splitting and the expansion fast path are each measured in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregators.summation import Sum
+from repro.centrality.pagerank import pagerank
+from repro.core.decomposition import core_decomposition
+from repro.core.kcore import connected_kcore_components, maximal_kcore
+from repro.influential.expansion import ExpansionContext
+from repro.utils.zobrist import ZobristHasher
+
+
+def test_bench_core_decomposition(benchmark, email):
+    benchmark.group = "substrate"
+    cores = benchmark(core_decomposition, email)
+    assert len(cores) == email.n
+
+
+def test_bench_pagerank(benchmark, email):
+    benchmark.group = "substrate"
+    ranks = benchmark(pagerank, email)
+    assert abs(ranks.sum() - 1.0) < 1e-8
+
+
+def test_bench_kcore_components(benchmark, email):
+    benchmark.group = "substrate"
+    comps = benchmark(connected_kcore_components, email, range(email.n), 4)
+    assert comps
+
+
+def test_bench_expansion_context_build(benchmark, email):
+    benchmark.group = "substrate-expansion"
+    component = frozenset(
+        max(connected_kcore_components(email, range(email.n), 4), key=len)
+    )
+    value = Sum().value(email, component)
+    hasher = ZobristHasher(email.n)
+    ctx = benchmark(
+        ExpansionContext, email, component, 4, Sum(), value, hasher
+    )
+    assert ctx.component == component
+
+
+def test_bench_expansion_children(benchmark, email):
+    benchmark.group = "substrate-expansion"
+    component = frozenset(
+        max(connected_kcore_components(email, range(email.n), 4), key=len)
+    )
+    value = Sum().value(email, component)
+    ctx = ExpansionContext(email, component, 4, Sum(), value, ZobristHasher(email.n))
+    vertices = sorted(component)[:50]
+
+    def expand_fifty():
+        total = 0
+        for v in vertices:
+            total += len(ctx.children_after_removal(v))
+        return total
+
+    produced = benchmark(expand_fifty)
+    assert produced >= 0
+
+
+def test_fast_path_is_common(email):
+    """The articulation fast path should cover a healthy share of removals
+    (that is what makes Algorithm 2 affordable at stand-in scale)."""
+    component = frozenset(
+        max(connected_kcore_components(email, range(email.n), 4), key=len)
+    )
+    ctx = ExpansionContext(
+        email, component, 4, Sum(), Sum().value(email, component),
+        ZobristHasher(email.n),
+    )
+    fast = 0
+    for v in component:
+        weak = [u for u in ctx.local_adj[v] if ctx.degree[u] == 4]
+        if not weak and v not in ctx.articulation:
+            fast += 1
+    assert fast / len(component) > 0.2

@@ -1,0 +1,50 @@
+"""Table I — aggregation functions: property flags and evaluation cost.
+
+Verifies the hardness/property matrix the paper tabulates, and measures
+the per-evaluation cost of each aggregator on a large subset (they must
+all be O(1) on precomputed stats; ``value`` is O(|H|)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregators.registry import get_aggregator
+from repro.utils.stats import SubsetStats
+
+#: (name, node-dominated, size-proportional, NP-hard unconstrained)
+TABLE1 = [
+    ("min", True, False, False),
+    ("max", True, True, False),
+    ("sum", False, True, False),
+    ("sum-surplus(alpha=1)", False, True, False),
+    ("avg", False, False, True),
+    ("weight-density(beta=1)", False, False, True),
+    ("balanced-density", False, False, True),
+]
+
+
+@pytest.mark.parametrize("name,dominated,proportional,np_hard", TABLE1)
+def test_table1_flags(name, dominated, proportional, np_hard):
+    aggregator = get_aggregator(name)
+    assert aggregator.is_node_dominated == dominated
+    assert aggregator.is_size_proportional == proportional
+    assert aggregator.np_hard_unconstrained == np_hard
+    assert aggregator.np_hard_constrained  # every constrained case is NP-hard
+
+
+@pytest.mark.parametrize("name", [row[0] for row in TABLE1])
+def test_bench_from_stats_evaluation(benchmark, name):
+    aggregator = get_aggregator(name)
+    stats = SubsetStats(size=1000, weight_sum=12345.0, weight_min=0.5, weight_max=99.0)
+    benchmark.group = "table1-from-stats"
+    value = benchmark(aggregator.from_stats, stats, 20000.0)
+    assert value == value  # not NaN
+
+
+def test_bench_value_walks_subset(benchmark, email):
+    aggregator = get_aggregator("sum")
+    subset = list(range(0, email.n, 2))
+    benchmark.group = "table1-value"
+    total = benchmark(aggregator.value, email, subset)
+    assert total > 0

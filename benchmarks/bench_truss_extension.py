@@ -1,0 +1,56 @@
+"""Ablation — the k-truss extension vs the k-core baseline.
+
+Not a paper figure: measures the cost of the stricter cohesiveness model
+(truss decomposition is O(m^1.5) vs O(m) core decomposition) and checks
+the structural relationship (k-truss inside (k-1)-core) at dataset scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.decomposition import core_decomposition
+from repro.core.kcore import maximal_kcore
+from repro.influential.truss_search import truss_top_r_min, truss_top_r_sum
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.ktruss import maximal_ktruss
+
+
+def test_bench_truss_decomposition(benchmark, email):
+    benchmark.group = "truss-vs-core"
+    truss = once(benchmark, truss_decomposition, email)
+    assert len(truss) == email.m
+
+
+def test_bench_core_decomposition_baseline(benchmark, email):
+    benchmark.group = "truss-vs-core"
+    cores = once(benchmark, core_decomposition, email)
+    assert len(cores) == email.n
+
+
+def test_bench_truss_sum_search(benchmark, email):
+    benchmark.group = "truss-search"
+    result = once(benchmark, truss_top_r_sum, email, 4, 5)
+    assert len(result) >= 1
+
+
+def test_bench_truss_min_search(benchmark, email):
+    benchmark.group = "truss-search"
+    result = once(benchmark, truss_top_r_min, email, 4, 5)
+    assert len(result) >= 1
+
+
+def test_truss_inside_core_at_scale(email):
+    for k in (3, 4, 5):
+        assert maximal_ktruss(email, k) <= maximal_kcore(email, k - 1)
+
+
+def test_truss_communities_tighter_than_core(email):
+    """The truss model's top community is contained in some core community
+    search space — its value cannot exceed the k-core component optimum."""
+    from repro.influential.nonoverlap import tonic_sum_unconstrained
+
+    core_top = tonic_sum_unconstrained(email, 3, 1)
+    truss_top = truss_top_r_sum(email, 4, 1)
+    assert truss_top[0].value <= core_top[0].value

@@ -1,0 +1,40 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each bench file covers one paper table/figure on *representative* datasets
+(the exhaustive grid lives in ``python -m repro bench``): the small/fast
+representative is email or dblp, the large representative orkut.  Dataset
+construction is session-scoped so the suite pays it once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import get_dataset
+
+
+@pytest.fixture(scope="session")
+def email():
+    return get_dataset("email")
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    return get_dataset("dblp")
+
+
+@pytest.fixture(scope="session")
+def youtube():
+    return get_dataset("youtube")
+
+
+@pytest.fixture(scope="session")
+def orkut():
+    return get_dataset("orkut")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Measure ``fn`` with a single round (solver benches are seconds-long;
+    pytest-benchmark's default multi-round calibration would multiply the
+    suite's runtime without adding information)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

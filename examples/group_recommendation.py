@@ -1,0 +1,65 @@
+"""Application 2 — Group recommendation on a social network.
+
+The paper's second scenario: a user searches for interest groups; each
+member's influence value measures topical affinity, and the recommended
+groups are the top-r communities by *average* affinity (a tight group of
+very interested people beats a huge lukewarm one), non-overlapping so the
+user sees distinct options.
+
+This script weights a SNAP-like social graph stand-in by PageRank-scaled
+topical affinity and compares the recommendations under avg (the paper's
+choice here), sum, and min.
+
+Run:  python examples/group_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import snap_like_graph, top_r_communities
+from repro.utils.rng import make_rng
+
+K = 4          # recommended groups must be 4-cohesive
+R = 3          # show three options
+MAX_SIZE = 10  # digestible group size
+
+
+def main() -> None:
+    graph = snap_like_graph("email")
+    # Topical affinity: PageRank (structural influence) modulated by a
+    # random per-user interest level in the queried topic.
+    rng = make_rng(77)
+    interest = rng.uniform(0.0, 1.0, size=graph.n) ** 2  # most users lukewarm
+    affinity = graph.weights * 1e4 * (0.2 + interest)
+    social = graph.with_weights(np.round(affinity, 4))
+
+    print(
+        f"network: {social.n} users, {social.m} ties; recommending "
+        f"top-{R} non-overlapping {K}-cohesive groups of <= {MAX_SIZE}"
+    )
+
+    for f, story in [
+        ("avg", "highest average affinity (the paper's pick for this task)"),
+        ("sum", "largest total affinity (favours bigger groups)"),
+        ("min", "no lukewarm member (floor on affinity)"),
+    ]:
+        result = top_r_communities(
+            social, k=K, r=R, f=f, s=MAX_SIZE,
+            non_overlapping=True, greedy=False,
+        )
+        print(f"\nrecommendations by {f} — {story}:")
+        if not len(result):
+            print("  (none found)")
+        for rank, community in enumerate(result, start=1):
+            members = ", ".join(str(v) for v in community.members()[:8])
+            suffix = "..." if community.size > 8 else ""
+            print(
+                f"  #{rank}: {community.size} users, {f}={community.value:.2f} "
+                f"-> users [{members}{suffix}]"
+            )
+        print(f"  disjoint: {result.is_pairwise_disjoint()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Application 3 / Section VI.C — influential research group identification.
+
+Reproduces the paper's Figure 14 case study on the synthetic Aminer-style
+co-authorship network: top-3 non-overlapping 4-influential communities
+under min / avg / sum, each paired with the citation index the paper
+recommends for it (i10 for min, G-index for avg, raw citations for sum),
+printed with researcher names.
+
+Run:  python examples/research_groups.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bench.case_study import render_case_study, run_case_study
+from repro.graphs.generators.aminer import AminerSpec, generate_aminer
+
+
+def main() -> None:
+    graph, metadata = generate_aminer()
+    fields = Counter(metadata.field_of)
+    print(
+        f"synthetic Aminer: {graph.n} researchers, {graph.m} co-authorships, "
+        f"{len(metadata.senior_groups)} senior groups"
+    )
+    print("fields: " + ", ".join(f"{f} ({c})" for f, c in sorted(fields.items())))
+    print()
+    panels = run_case_study()
+    print(render_case_study(panels))
+
+    print("\nwhat the aggregators disagree about:")
+    families = {
+        p.aggregator: [frozenset(c.vertices) for c in p.communities]
+        for p in panels
+    }
+    min_only = set(families["min"]) - set(families["avg"]) - set(families["sum"])
+    avg_sizes = [c.size for c in dict(
+        (p.aggregator, p) for p in panels
+    )["avg"].communities]
+    sum_sizes = [c.size for c in dict(
+        (p.aggregator, p) for p in panels
+    )["sum"].communities]
+    print(f"  groups unique to min: {len(min_only)}")
+    print(f"  avg community sizes: {avg_sizes} (elite, small)")
+    print(f"  sum community sizes: {sum_sizes} (diverse, larger)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The runtime environment has setuptools but no `wheel`, so PEP 517 editable
+installs fail with `invalid command 'bdist_wheel'`; this shim enables the
+legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

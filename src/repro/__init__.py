@@ -1,0 +1,40 @@
+"""Top-r influential community search under aggregation functions.
+
+A complete Python reproduction of Peng, Bian, Li, Wang, Yu — "Finding
+Top-r Influential Communities under Aggregation Functions", ICDE 2022
+(arXiv:2207.01029): the community model, all algorithms (naive, improved
+epsilon-approximate, exact, local search, min/max baselines), the
+non-overlapping variants, the hardness gadgets, and the full benchmark
+harness over synthetic stand-ins of the paper's datasets.
+
+Quickstart::
+
+    from repro import figure1_graph, top_r_communities
+
+    graph = figure1_graph()
+    result = top_r_communities(graph, k=2, r=2, f="sum")
+    for community in result:
+        print(sorted(community.vertices), community.value)
+"""
+
+from repro._version import __version__
+from repro.aggregators import get_aggregator
+from repro.graphs import Graph, GraphBuilder
+from repro.graphs.generators import (
+    figure1_graph,
+    generate_aminer,
+    snap_like_graph,
+)
+from repro.influential import Community, top_r_communities
+
+__all__ = [
+    "Community",
+    "Graph",
+    "GraphBuilder",
+    "__version__",
+    "figure1_graph",
+    "generate_aminer",
+    "get_aggregator",
+    "snap_like_graph",
+    "top_r_communities",
+]

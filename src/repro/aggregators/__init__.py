@@ -1,0 +1,41 @@
+"""Aggregation functions over community weights (paper Table I).
+
+Each aggregator computes ``f(H)`` from the weight statistics of a vertex
+subset and exposes the algebraic properties the paper's algorithm-selection
+logic keys on:
+
+* *node domination* (Definition 6) — ``f(H)`` equals the weight of a single
+  member (min, max): solvable by the prior-work peel algorithms;
+* *size proportionality* (Definition 7) — ``H subset H'`` implies
+  ``f(H) <= f(H')`` (sum, sum-surplus with alpha >= 0): solvable by
+  Algorithms 1-2;
+* *decreasing under removal* (Corollary 2) — removing vertices strictly
+  lowers ``f`` (the pruning soundness condition of Algorithm 2);
+* NP-hardness markers for the unconstrained and size-constrained problems
+  (Section III).
+"""
+
+from repro.aggregators.average import Average
+from repro.aggregators.base import Aggregator
+from repro.aggregators.density import BalancedDensity, WeightDensity
+from repro.aggregators.minmax import Maximum, Minimum
+from repro.aggregators.registry import (
+    available_aggregators,
+    get_aggregator,
+    register_aggregator,
+)
+from repro.aggregators.summation import Sum, SumSurplus
+
+__all__ = [
+    "Aggregator",
+    "Average",
+    "BalancedDensity",
+    "Maximum",
+    "Minimum",
+    "Sum",
+    "SumSurplus",
+    "WeightDensity",
+    "available_aggregators",
+    "get_aggregator",
+    "register_aggregator",
+]

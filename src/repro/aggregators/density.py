@@ -1,0 +1,72 @@
+"""Weight density and balanced density (Table I, NP-hard rows).
+
+* Weight density: ``f(H) = w(H) - beta * |H|`` — rewards weight but
+  penalises size; the "lay off the fewest while keeping strength"
+  objective of the paper's engagement application.
+* Balanced density: ``f(H) = w(H) / (w(H) - w(V \\ H))`` — prefers
+  communities holding a dominant share of the total weight; the only
+  aggregator whose value depends on the *complement*, hence
+  ``needs_graph_total``.
+
+The paper's full version proves both NP-hard; neither is size-proportional
+nor decreasing-under-removal, so they route to local search.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.aggregators.base import Aggregator
+from repro.errors import AggregatorError
+from repro.utils.stats import SubsetStats
+
+
+class WeightDensity(Aggregator):
+    """``f(H) = w(H) - beta * |H|`` with penalty ``beta > 0``."""
+
+    is_node_dominated = False
+    is_size_proportional = False
+    decreases_under_removal = False
+    np_hard_unconstrained = True
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise AggregatorError(
+                f"weight density requires beta > 0, got {beta}; "
+                "beta <= 0 degenerates to sum / sum-surplus"
+            )
+        self.beta = float(beta)
+        self.name = f"weight-density(beta={self.beta:g})"
+
+    def from_stats(self, stats: SubsetStats, graph_total: float | None = None) -> float:
+        self._require_nonempty(stats)
+        return stats.weight_sum - self.beta * stats.size
+
+
+class BalancedDensity(Aggregator):
+    """``f(H) = w(H) / (w(H) - w(V \\ H)) = w(H) / (2 w(H) - w(V))``.
+
+    Undefined when the community holds exactly half the total weight
+    (denominator zero); we return ``+inf`` with the sign of the numerator
+    convention ``w(H) > 0``, mirroring how a maximiser would treat the
+    pole.  Values are largest just above the half-weight threshold.
+    """
+
+    name = "balanced-density"
+    is_node_dominated = False
+    is_size_proportional = False
+    decreases_under_removal = False
+    np_hard_unconstrained = True
+    needs_graph_total = True
+
+    def from_stats(self, stats: SubsetStats, graph_total: float | None = None) -> float:
+        self._require_nonempty(stats)
+        if graph_total is None:
+            raise AggregatorError(
+                "balanced density needs the graph total weight; "
+                "call value() or pass graph_total explicitly"
+            )
+        denominator = 2.0 * stats.weight_sum - graph_total
+        if denominator == 0.0:
+            return math.inf if stats.weight_sum > 0 else 0.0
+        return stats.weight_sum / denominator

@@ -1,0 +1,79 @@
+"""Name-based lookup of aggregation functions.
+
+The public API, the CLI and the benchmark configs all refer to aggregators
+by string (``"sum"``, ``"avg"``, ``"sum-surplus(alpha=2)"`` ...); this
+registry resolves those names.  Parameterised aggregators accept an inline
+argument in the name or can be passed pre-constructed instances anywhere an
+aggregator is expected.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.aggregators.average import Average
+from repro.aggregators.base import Aggregator
+from repro.aggregators.density import BalancedDensity, WeightDensity
+from repro.aggregators.minmax import Maximum, Minimum
+from repro.aggregators.summation import Sum, SumSurplus
+from repro.errors import AggregatorError
+
+_FACTORIES: dict[str, Callable[[float | None], Aggregator]] = {
+    "min": lambda arg: Minimum(),
+    "minimum": lambda arg: Minimum(),
+    "max": lambda arg: Maximum(),
+    "maximum": lambda arg: Maximum(),
+    "sum": lambda arg: Sum(),
+    "avg": lambda arg: Average(),
+    "average": lambda arg: Average(),
+    "sum-surplus": lambda arg: SumSurplus(arg if arg is not None else 1.0),
+    "weight-density": lambda arg: WeightDensity(arg if arg is not None else 1.0),
+    "balanced-density": lambda arg: BalancedDensity(),
+}
+
+#: Matches "name", "name(1.5)", "name(alpha=1.5)", "name(beta=2)".
+_NAME_RE = re.compile(
+    r"^\s*(?P<base>[a-zA-Z-]+)\s*(?:\(\s*(?:[a-zA-Z]+\s*=\s*)?(?P<arg>[-+0-9.eE]+)\s*\))?\s*$"
+)
+
+
+def get_aggregator(f: str | Aggregator) -> Aggregator:
+    """Resolve ``f`` to an :class:`Aggregator` instance.
+
+    Accepts an existing instance (returned unchanged) or a name with an
+    optional parameter, e.g. ``"sum"``, ``"weight-density(beta=0.5)"``.
+    """
+    if isinstance(f, Aggregator):
+        return f
+    if not isinstance(f, str):
+        raise AggregatorError(f"cannot interpret {f!r} as an aggregation function")
+    match = _NAME_RE.match(f)
+    if not match:
+        raise AggregatorError(f"malformed aggregator name {f!r}")
+    base = match.group("base").lower()
+    factory = _FACTORIES.get(base)
+    if factory is None:
+        known = ", ".join(sorted(set(_FACTORIES)))
+        raise AggregatorError(f"unknown aggregator {base!r}; known: {known}")
+    arg = match.group("arg")
+    return factory(float(arg) if arg is not None else None)
+
+
+def register_aggregator(
+    name: str, factory: Callable[[float | None], Aggregator]
+) -> None:
+    """Register a custom aggregator under ``name`` (extension hook).
+
+    The factory receives the optional numeric argument parsed from names
+    like ``"myagg(0.3)"`` (or None when absent).
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise AggregatorError(f"aggregator {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_aggregators() -> list[str]:
+    """Sorted canonical names of all registered aggregators."""
+    return sorted(set(_FACTORIES))

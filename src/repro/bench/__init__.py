@@ -1,0 +1,26 @@
+"""Benchmark harness reproducing the paper's Section VI evaluation.
+
+* :mod:`repro.bench.datasets` — cached construction of the Table III
+  stand-in datasets;
+* :mod:`repro.bench.runner` — timed parameter sweeps;
+* :mod:`repro.bench.experiments` — one definition per paper table/figure
+  (Exp-I .. Exp-VII), producing text/Markdown reports;
+* :mod:`repro.bench.case_study` — the Fig 14 Aminer case study.
+
+The same experiment definitions back both the standalone harness
+(``python -m repro bench``) and the pytest-benchmark wrappers in
+``benchmarks/``.
+"""
+
+from repro.bench.datasets import get_dataset, dataset_statistics_table
+from repro.bench.experiments import EXPERIMENTS, run_experiments
+from repro.bench.runner import SweepResult, time_call
+
+__all__ = [
+    "EXPERIMENTS",
+    "SweepResult",
+    "dataset_statistics_table",
+    "get_dataset",
+    "run_experiments",
+    "time_call",
+]

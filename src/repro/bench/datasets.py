@@ -1,0 +1,72 @@
+"""Dataset access layer for the benchmark harness.
+
+Datasets are the deterministic Table III stand-ins (see
+:mod:`repro.graphs.generators.snap_like`); construction takes a second or
+two each, so instances are memoised per process.  ``SMALL`` and ``LARGE``
+mirror the paper's grouping (small datasets swept at k in {4..10}, large
+ones at the scaled-down {8..20}).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.decomposition import kmax
+from repro.graphs.generators.snap_like import SNAP_LIKE_SPECS, snap_like_graph
+from repro.graphs.graph import Graph
+from repro.utils.tables import format_table
+
+#: The paper's small/large grouping (Section VI "Parameters").
+SMALL = ("domainpub", "email", "dblp", "youtube")
+LARGE = ("orkut", "livejournal", "friendster")
+
+#: Datasets used in the running-time figures (the paper plots 6 of the 7;
+#: DomainPub only appears in Table III).
+FIGURE_DATASETS = ("email", "dblp", "youtube", "orkut", "livejournal", "friendster")
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str) -> Graph:
+    """The weighted stand-in graph for ``name`` (memoised)."""
+    return snap_like_graph(name)
+
+
+def default_k(name: str) -> int:
+    """The paper's default k for this dataset (4 small / scaled 8 large)."""
+    return SNAP_LIKE_SPECS[name].default_k
+
+
+def k_sweep(name: str) -> tuple[int, ...]:
+    """The k values this dataset is swept over in the figures."""
+    return SNAP_LIKE_SPECS[name].k_sweep
+
+
+def dataset_statistics_table() -> str:
+    """Render Table III: paper numbers beside the stand-in's measured ones."""
+    rows = []
+    for name, spec in SNAP_LIKE_SPECS.items():
+        graph = get_dataset(name)
+        rows.append(
+            [
+                name,
+                f"{spec.paper_n:,}",
+                f"{spec.paper_m:,}",
+                spec.paper_dmax,
+                spec.paper_davg,
+                spec.paper_kmax,
+                graph.n,
+                graph.m,
+                graph.max_degree,
+                round(graph.avg_degree, 2),
+                kmax(graph),
+            ]
+        )
+    return format_table(
+        [
+            "dataset",
+            "paper n", "paper m", "paper dmax", "paper davg", "paper kmax",
+            "ours n", "ours m", "ours dmax", "ours davg", "ours kmax",
+        ],
+        rows,
+        title="Table III — datasets (paper vs scaled stand-in)",
+    )

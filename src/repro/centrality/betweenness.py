@@ -1,0 +1,84 @@
+"""Betweenness centrality (Brandes' algorithm), exact and sampled.
+
+The paper's introduction lists Betweenness among the structural weights a
+vertex may carry.  Exact Brandes is O(n m); the sampled variant (Brandes &
+Pich pivots) trades accuracy for speed on the larger stand-ins.  Both are
+cross-validated against networkx in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import make_rng
+
+
+def _accumulate_from(graph: Graph, source: int, centrality: np.ndarray) -> None:
+    """One Brandes SSSP phase (unweighted): BFS + dependency accumulation."""
+    adj = graph.adjacency
+    n = graph.n
+    sigma = np.zeros(n)
+    sigma[source] = 1.0
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    order: list[int] = []
+    predecessors: list[list[int]] = [[] for __ in range(n)]
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in adj[u]:
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+            if dist[v] == dist[u] + 1:
+                sigma[v] += sigma[u]
+                predecessors[v].append(u)
+    delta = np.zeros(n)
+    for v in reversed(order):
+        for u in predecessors[v]:
+            delta[u] += (sigma[u] / sigma[v]) * (1.0 + delta[v])
+        if v != source:
+            centrality[v] += delta[v]
+
+
+def betweenness_centrality(
+    graph: Graph,
+    normalized: bool = True,
+    sample_size: int | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Shortest-path betweenness of every vertex.
+
+    With ``sample_size`` set, only that many pivot sources are processed
+    and the totals are scaled by ``n / sample_size`` (an unbiased
+    estimator).  Normalisation divides by ``(n-1)(n-2)`` (undirected pairs
+    counted twice, matching networkx's convention).
+    """
+    n = graph.n
+    centrality = np.zeros(n)
+    if n < 3:
+        return centrality
+    if sample_size is not None:
+        if not 1 <= sample_size <= n:
+            raise GraphError(
+                f"sample_size must be in [1, {n}], got {sample_size}"
+            )
+        rng = make_rng(seed)
+        sources = rng.choice(n, size=sample_size, replace=False)
+        scale_up = n / sample_size
+    else:
+        sources = range(n)
+        scale_up = 1.0
+    for source in sources:
+        _accumulate_from(graph, int(source), centrality)
+    centrality *= scale_up
+    # Each undirected pair was counted from both endpoints.
+    centrality /= 2.0
+    if normalized:
+        centrality *= 2.0 / ((n - 1) * (n - 2))
+    return centrality

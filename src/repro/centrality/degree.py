@@ -1,0 +1,19 @@
+"""Degree centrality — the simplest vertex weight the paper's intro names."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def degree_centrality(graph: Graph, normalized: bool = True) -> np.ndarray:
+    """Degree of each vertex, optionally normalised by ``n - 1``.
+
+    With ``normalized=False`` this is the raw degree, a convenient integer
+    weight for examples and tests.
+    """
+    degrees = graph.degrees().astype(np.float64)
+    if normalized and graph.n > 1:
+        degrees /= graph.n - 1
+    return degrees

@@ -1,0 +1,72 @@
+"""PageRank by power iteration.
+
+The paper weights every vertex with "the PageRank value of vertices with
+the damping factor being set as 0.85" (Section VI).  This implementation
+follows the standard formulation for undirected graphs: the random surfer
+follows a uniformly random incident edge with probability ``damping`` and
+teleports uniformly otherwise; dangling (isolated) vertices redistribute
+their mass uniformly.  The result sums to 1.
+
+Vectorised with numpy over a CSR-ish (indptr, indices) representation so
+the 6K-vertex benchmark stand-ins weight in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def _flat_edges(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten adjacency into parallel (row, col) arrays, one entry per
+    directed half-edge, for vectorised scatter-adds."""
+    n = graph.n
+    degrees = graph.degrees()
+    total = int(degrees.sum())
+    rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    cols = np.empty(total, dtype=np.int64)
+    cursor = 0
+    for neighbours in graph.adjacency:
+        for v in neighbours:
+            cols[cursor] = v
+            cursor += 1
+    return rows, cols
+
+
+def pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """PageRank vector of an undirected graph.
+
+    Raises :class:`GraphError` if the iteration fails to converge within
+    ``max_iter`` sweeps of L1 tolerance ``tol`` (with default parameters
+    convergence takes a few dozen iterations on any graph).
+    """
+    if not 0.0 <= damping < 1.0:
+        raise GraphError(f"damping must be in [0, 1), got {damping}")
+    n = graph.n
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    rows, cols = _flat_edges(graph)
+    degrees = graph.degrees().astype(np.float64)
+    dangling = degrees == 0
+    out_degree = np.where(dangling, 1.0, degrees)
+
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for __ in range(max_iter):
+        contrib = rank / out_degree
+        # incoming[u] = sum of contrib over u's neighbours, via a
+        # vectorised scatter-add over the flattened half-edges.
+        incoming = np.bincount(rows, weights=contrib[cols], minlength=n)
+        dangling_mass = contrib[dangling].sum() / n
+        new_rank = teleport + damping * (incoming + dangling_mass)
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise GraphError(f"PageRank did not converge in {max_iter} iterations")

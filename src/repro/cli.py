@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro search   --dataset email --k 4 --r 5 --f sum [--s 20] [--tonic]
+    repro search   --edges graph.txt --weights w.txt ...
+    repro datasets                      # list stand-ins with statistics
+    repro bench    --exp fig2 [--out EXPERIMENTS.md]
+    repro casestudy                     # the Fig 14 reproduction
+    repro verify                        # solver-vs-oracle self check
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Top-r influential community search under aggregation functions "
+            "(reproduction of Peng et al., ICDE 2022)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="run a top-r community query")
+    source = search.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="a stand-in dataset name (see `datasets`)")
+    source.add_argument("--edges", help="path to a SNAP-style edge list")
+    search.add_argument("--weights", help="path to a vertex-weight file")
+    search.add_argument("--k", type=int, required=True, help="degree constraint")
+    search.add_argument("--r", type=int, default=5, help="number of communities")
+    search.add_argument("--f", default="sum", help="aggregation function")
+    search.add_argument("--s", type=int, default=None, help="size constraint")
+    search.add_argument(
+        "--method",
+        default="auto",
+        help="auto|naive|improved|approx|exact|local|bruteforce",
+    )
+    search.add_argument("--eps", type=float, default=0.1, help="approx ratio")
+    search.add_argument(
+        "--tonic", action="store_true", help="non-overlapping communities"
+    )
+    search.add_argument(
+        "--random-strategy",
+        action="store_true",
+        help="use the Random local-search variant instead of Greedy",
+    )
+
+    sub.add_parser("datasets", help="list the stand-in datasets with statistics")
+
+    bench = sub.add_parser("bench", help="run paper experiments")
+    bench.add_argument(
+        "--exp",
+        default="all",
+        help="experiment id: table3, fig2..fig13, case, substrates, or 'all'",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write a Markdown report to this path"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweeps for smoke-testing the harness",
+    )
+
+    sub.add_parser("casestudy", help="reproduce the Fig 14 case study")
+
+    verify = sub.add_parser(
+        "verify",
+        help="cross-check the solvers against the exhaustive oracle",
+    )
+    verify.add_argument(
+        "--instances", type=int, default=8, help="random instances to test"
+    )
+    verify.add_argument("--seed", type=int, default=1000, help="base seed")
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.influential.api import top_r_communities
+
+    graph = _load_graph(args)
+    result = top_r_communities(
+        graph,
+        k=args.k,
+        r=args.r,
+        f=args.f,
+        s=args.s,
+        method=args.method,
+        eps=args.eps,
+        non_overlapping=args.tonic,
+        greedy=not args.random_strategy,
+    )
+    print(
+        f"top-{args.r} communities (k={args.k}, f={args.f}"
+        + (f", s={args.s}" if args.s else "")
+        + (", non-overlapping" if args.tonic else "")
+        + ")"
+    )
+    print(result.describe(graph))
+    return 0
+
+
+def _load_graph(args: argparse.Namespace):
+    from repro.graphs.generators.snap_like import snap_like_graph
+    from repro.graphs.io import load_edge_list, load_weights
+
+    if args.dataset:
+        return snap_like_graph(args.dataset)
+    graph, __ = load_edge_list(args.edges)
+    if args.weights:
+        return graph.with_weights(load_weights(args.weights, graph.n))
+    from repro.centrality.pagerank import pagerank
+
+    return graph.with_weights(pagerank(graph))
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import dataset_statistics_table
+
+    print(dataset_statistics_table())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_experiments
+
+    report = run_experiments(args.exp, quick=args.quick)
+    print(report.render_text())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.render_markdown())
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.bench.case_study import render_case_study, run_case_study
+
+    print(render_case_study(run_case_study()))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bench.verification import verify_solvers
+
+    report = verify_solvers(instances=args.instances, base_seed=args.seed)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "search": _cmd_search,
+        "datasets": _cmd_datasets,
+        "bench": _cmd_bench,
+        "casestudy": _cmd_casestudy,
+        "verify": _cmd_verify,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""k-core machinery: decomposition, maximal k-core, cascade peeling.
+
+The paper's community model is built entirely on the k-core (Definition 1):
+every solver needs (a) the maximal k-core of the graph, (b) connected
+k-core components of arbitrary vertex subsets after vertex removals, and
+(c) an efficient "remove vertex and cascade" primitive.  This package
+provides all three.
+"""
+
+from repro.core.decomposition import core_decomposition, core_number_histogram, kmax
+from repro.core.kcore import (
+    connected_kcore_components,
+    is_kcore_subset,
+    kcore_of_subset,
+    maximal_kcore,
+)
+from repro.core.peeler import PeelingWorkspace
+
+__all__ = [
+    "PeelingWorkspace",
+    "connected_kcore_components",
+    "core_decomposition",
+    "core_number_histogram",
+    "is_kcore_subset",
+    "kcore_of_subset",
+    "kmax",
+    "maximal_kcore",
+]

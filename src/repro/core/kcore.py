@@ -1,0 +1,98 @@
+"""Maximal k-cores and connected k-core components of vertex subsets.
+
+Two operations dominate the solvers' inner loops:
+
+* ``kcore_of_subset(graph, vertices, k)`` — iteratively delete vertices of
+  the induced subgraph with degree < k until a fixpoint; what remains is
+  the unique maximal sub-k-core (possibly empty).
+* ``connected_kcore_components`` — the same, split into connected
+  components; these are exactly the candidate communities of Algorithms
+  1 and 2 ("compute the connected k-core of H").
+
+Both run in O(|H| + |E(G[H])|) using a worklist of underfull vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.decomposition import core_decomposition
+from repro.errors import SpecError
+from repro.graphs.components import connected_components_of
+from repro.graphs.graph import Graph
+
+
+def _check_k(k: int) -> None:
+    if k < 0:
+        raise SpecError(f"degree constraint k must be non-negative, got {k}")
+
+
+def maximal_kcore(graph: Graph, k: int) -> set[int]:
+    """Vertex set of the maximal k-core of the whole graph.
+
+    Uses the core decomposition (O(n + m)) and thresholds at k, which both
+    computes the answer and caches nothing — callers doing many k values
+    should threshold :func:`core_decomposition` themselves.
+    """
+    _check_k(k)
+    cores = core_decomposition(graph)
+    return {v for v in range(graph.n) if cores[v] >= k}
+
+
+def kcore_of_subset(graph: Graph, vertices: Iterable[int], k: int) -> set[int]:
+    """The maximal sub-k-core of ``G[vertices]`` (empty set if none).
+
+    Standard worklist peeling: start from vertices whose induced degree is
+    below k, cascade deletions.  The result is the unique maximal subset of
+    ``vertices`` whose induced subgraph has minimum degree >= k.
+    """
+    _check_k(k)
+    alive = set(vertices)
+    for v in alive:
+        graph.check_vertex(v)
+    adj = graph.adjacency
+    degree = {v: len(adj[v] & alive) for v in alive}
+    queue = deque(v for v, d in degree.items() if d < k)
+    in_queue = set(queue)
+    while queue:
+        v = queue.popleft()
+        in_queue.discard(v)
+        if v not in alive:
+            continue
+        alive.discard(v)
+        for u in adj[v] & alive:
+            degree[u] -= 1
+            if degree[u] < k and u not in in_queue:
+                queue.append(u)
+                in_queue.add(u)
+    return alive
+
+
+def connected_kcore_components(
+    graph: Graph, vertices: Iterable[int], k: int
+) -> list[set[int]]:
+    """Connected components of the maximal sub-k-core of ``G[vertices]``.
+
+    These are the "disjoint connected components of k-core(H)" that
+    Algorithms 1 and 2 enumerate.  Ordered by smallest member for
+    determinism.
+    """
+    core = kcore_of_subset(graph, vertices, k)
+    if not core:
+        return []
+    return connected_components_of(graph, core)
+
+
+def is_kcore_subset(graph: Graph, vertices: Iterable[int], k: int) -> bool:
+    """True if ``G[vertices]`` already has minimum induced degree >= k.
+
+    This is the "C is k-core" test of the local-search strategies —
+    note it checks cohesiveness only, not connectivity.
+    """
+    _check_k(k)
+    subset = set(vertices)
+    if not subset:
+        return False
+    adj = graph.adjacency
+    return all(len(adj[v] & subset) >= k for v in subset)

@@ -1,0 +1,136 @@
+"""A mutable peeling workspace over an immutable graph.
+
+The min/max solvers and the non-overlapping wrappers repeatedly delete
+vertices *from the same evolving graph* while keeping the remainder a
+k-core — recopying adjacency for every deletion would be quadratic.
+:class:`PeelingWorkspace` keeps an alive-set plus per-vertex induced
+degrees and performs "remove v and cascade below-k vertices" in time
+proportional to the affected region.  It records each cascade so callers
+can inspect exactly what a removal cost (the sum solver's child expansion
+reasons about that set).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import SpecError, VertexError
+from repro.graphs.graph import Graph
+
+
+class PeelingWorkspace:
+    """Alive-set view of a graph supporting cascade deletions at level k.
+
+    After construction the workspace holds the maximal k-core of the given
+    subset (vertices below k are cascaded immediately), so the invariant
+    *every alive vertex has alive-degree >= k* holds at all times.
+    """
+
+    __slots__ = ("graph", "k", "_alive", "_degree")
+
+    def __init__(
+        self, graph: Graph, k: int, vertices: Iterable[int] | None = None
+    ) -> None:
+        if k < 0:
+            raise SpecError(f"degree constraint k must be non-negative, got {k}")
+        self.graph = graph
+        self.k = k
+        if vertices is None:
+            self._alive = set(range(graph.n))
+        else:
+            self._alive = set(vertices)
+            for v in self._alive:
+                graph.check_vertex(v)
+        adj = graph.adjacency
+        self._degree = {v: len(adj[v] & self._alive) for v in self._alive}
+        # Establish the k-core invariant up front.
+        underfull = [v for v, d in self._degree.items() if d < k]
+        self._cascade(underfull)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> set[int]:
+        """The current alive vertex set.  Treat as read-only."""
+        return self._alive
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._alive
+
+    def degree(self, v: int) -> int:
+        """Alive-induced degree of an alive vertex."""
+        if v not in self._alive:
+            raise VertexError(v, self.graph.n)
+        return self._degree[v]
+
+    def alive_neighbors(self, v: int) -> set[int]:
+        """Alive neighbours of ``v`` (fresh set, safe to keep)."""
+        return self.graph.adjacency[v] & self._alive
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _cascade(self, seeds: Iterable[int]) -> list[int]:
+        """Remove ``seeds`` and everything that falls below k.  Returns the
+        full list of removed vertices (seeds first, cascade order after)."""
+        adj = self.graph.adjacency
+        alive, degree, k = self._alive, self._degree, self.k
+        removed: list[int] = []
+        queue = deque(seeds)
+        for v in queue:
+            if v in alive:
+                alive.discard(v)
+                removed.append(v)
+        i = 0
+        while i < len(removed):
+            v = removed[i]
+            i += 1
+            degree.pop(v, None)
+            for u in adj[v] & alive:
+                degree[u] -= 1
+                if degree[u] < k:
+                    alive.discard(u)
+                    removed.append(u)
+        return removed
+
+    def remove(self, v: int) -> list[int]:
+        """Delete alive vertex ``v``; cascade; return all removed vertices."""
+        if v not in self._alive:
+            raise VertexError(v, self.graph.n)
+        return self._cascade([v])
+
+    def remove_all(self, vertices: Iterable[int]) -> list[int]:
+        """Delete several vertices at once (e.g. a whole community in the
+        non-overlapping wrappers); cascade; return all removed vertices."""
+        seeds = [v for v in vertices if v in self._alive]
+        return self._cascade(seeds)
+
+    # ------------------------------------------------------------------
+    # Component queries on the alive set
+    # ------------------------------------------------------------------
+    def component_of(self, v: int) -> set[int]:
+        """The alive connected component containing ``v``."""
+        if v not in self._alive:
+            raise VertexError(v, self.graph.n)
+        adj = self.graph.adjacency
+        alive = self._alive
+        seen = {v}
+        queue = deque([v])
+        while queue:
+            u = queue.popleft()
+            for w in adj[u] & alive:
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        return seen
+
+    def components(self) -> list[set[int]]:
+        """All alive connected components, ordered by smallest member."""
+        from repro.graphs.components import connected_components_of
+
+        return connected_components_of(self.graph, self._alive)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations or inputs."""
+
+
+class VertexError(GraphError):
+    """Raised when a vertex id is out of range or otherwise unknown."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} not in graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class WeightError(GraphError):
+    """Raised when vertex weights are missing, negative, or malformed."""
+
+
+class SpecError(ReproError):
+    """Raised when a problem specification (k, r, s, f) is invalid."""
+
+
+class AggregatorError(ReproError):
+    """Raised for unknown aggregation functions or unsupported operations."""
+
+
+class SolverError(ReproError):
+    """Raised when a solver cannot handle the requested problem instance."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be produced or located."""
+
+
+class CertificationError(ReproError):
+    """Raised when a claimed solution fails certification checks."""

@@ -1,0 +1,36 @@
+"""Synthetic graph generators.
+
+These replace the paper's downloaded datasets (no network access, and pure
+Python cannot hold billion-edge graphs): power-law models for the SNAP
+stand-ins of Table III, a planted-community model for controlled solver
+tests, a synthetic Aminer-style co-authorship network for the Section VI.C
+case study, and the exact 11-vertex running example of Figure 1.
+"""
+
+from repro.graphs.generators.aminer import generate_aminer
+from repro.graphs.generators.examples import figure1_graph, tiny_kcore_graph
+from repro.graphs.generators.planted import planted_communities
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert,
+    chung_lu,
+    gnm_random_graph,
+    gnp_random_graph,
+    powerlaw_configuration_model,
+    powerlaw_degree_sequence,
+)
+from repro.graphs.generators.snap_like import SNAP_LIKE_SPECS, snap_like_graph
+
+__all__ = [
+    "SNAP_LIKE_SPECS",
+    "barabasi_albert",
+    "chung_lu",
+    "figure1_graph",
+    "generate_aminer",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "planted_communities",
+    "powerlaw_configuration_model",
+    "powerlaw_degree_sequence",
+    "snap_like_graph",
+    "tiny_kcore_graph",
+]

@@ -1,0 +1,120 @@
+"""Reading and writing graphs in the SNAP-style edge-list format.
+
+The paper downloads its datasets from the Stanford Network Analysis Platform
+whose files are whitespace-separated ``u v`` lines with ``#`` comments.  We
+read exactly that dialect (tolerating duplicate and reversed edges, and
+remapping arbitrary ids to dense 0..n-1), and we write it back so generated
+stand-in datasets can be cached on disk and inspected with standard tools.
+
+Vertex weights travel in a companion file of ``vertex weight`` lines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from repro.errors import GraphError, WeightError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def _open_for_read(path: str | os.PathLike[str]) -> TextIO:
+    return open(path, "r", encoding="utf-8")
+
+
+def load_edge_list(
+    path: str | os.PathLike[str],
+    comment: str = "#",
+) -> tuple[Graph, dict[int, int]]:
+    """Load a SNAP-style edge list.
+
+    Returns ``(graph, id_map)`` where ``id_map[original_id] = dense_id``.
+    Self-loops are dropped (SNAP files occasionally contain them); duplicate
+    and mirrored edges collapse to one undirected edge.
+    """
+    id_map: dict[int, int] = {}
+    edges: list[tuple[int, int]] = []
+    with _open_for_read(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            try:
+                raw_u, raw_v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{lineno}: non-integer endpoint in {line!r}"
+                ) from exc
+            if raw_u == raw_v:
+                continue
+            for raw in (raw_u, raw_v):
+                if raw not in id_map:
+                    id_map[raw] = len(id_map)
+            edges.append((id_map[raw_u], id_map[raw_v]))
+    builder = GraphBuilder(len(id_map))
+    builder.add_edges(edges)
+    return builder.build(), id_map
+
+
+def save_edge_list(
+    graph: Graph,
+    path: str | os.PathLike[str],
+    header: str | None = None,
+) -> None:
+    """Write the graph as ``u v`` lines (each undirected edge once)."""
+    with open(path, "w", encoding="utf-8") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        f.write(f"# nodes: {graph.n} edges: {graph.m}\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")
+
+
+def load_weights(
+    path: str | os.PathLike[str],
+    n: int,
+    comment: str = "#",
+) -> np.ndarray:
+    """Load a ``vertex weight`` file into a dense array of length ``n``.
+
+    Missing vertices default to weight 0; out-of-range ids are an error.
+    """
+    weights = np.zeros(n, dtype=np.float64)
+    with _open_for_read(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise WeightError(
+                    f"{path}:{lineno}: expected 'vertex weight', got {line!r}"
+                )
+            try:
+                v, w = int(parts[0]), float(parts[1])
+            except ValueError as exc:
+                raise WeightError(f"{path}:{lineno}: malformed line {line!r}") from exc
+            if not 0 <= v < n:
+                raise WeightError(f"{path}:{lineno}: vertex {v} out of range [0,{n})")
+            if w < 0 or not np.isfinite(w):
+                raise WeightError(f"{path}:{lineno}: invalid weight {w}")
+            weights[v] = w
+    return weights
+
+
+def save_weights(
+    weights: Iterable[float],
+    path: str | os.PathLike[str],
+) -> None:
+    """Write weights as ``vertex weight`` lines."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# vertex weight\n")
+        for v, w in enumerate(weights):
+            f.write(f"{v} {w:.12g}\n")

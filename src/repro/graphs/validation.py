@@ -1,0 +1,54 @@
+"""Structural invariants of graphs, checkable on demand.
+
+Generators and loaders call :func:`validate_graph` in tests (and optionally
+in production via ``strict=True`` flags) to catch symmetry violations,
+self-loops, weight anomalies and label mismatches early rather than deep
+inside a solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, WeightError
+from repro.graphs.graph import Graph
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise if any structural invariant of ``graph`` is violated.
+
+    Checks: adjacency symmetry, no self-loops, endpoint ranges, edge count
+    bookkeeping, weight domain, and label arity.  O(n + m).
+    """
+    adj = graph.adjacency
+    n = graph.n
+    half_edges = 0
+    for u, neighbours in enumerate(adj):
+        for v in neighbours:
+            if not 0 <= v < n:
+                raise GraphError(f"edge endpoint {v} out of range at vertex {u}")
+            if v == u:
+                raise GraphError(f"self-loop at vertex {u}")
+            if u not in adj[v]:
+                raise GraphError(f"asymmetric edge ({u}, {v})")
+        half_edges += len(neighbours)
+    if half_edges != 2 * graph.m:
+        raise GraphError(
+            f"edge count mismatch: adjacency holds {half_edges // 2}, graph says {graph.m}"
+        )
+    weights = graph.weights
+    if weights.shape != (n,):
+        raise WeightError(f"weights shape {weights.shape} for {n} vertices")
+    if n and (not np.all(np.isfinite(weights)) or float(weights.min()) < 0.0):
+        raise WeightError("weights must be finite and non-negative")
+    if graph.labels is not None and len(graph.labels) != n:
+        raise GraphError(f"{len(graph.labels)} labels for {n} vertices")
+
+
+def assert_same_topology(a: Graph, b: Graph) -> None:
+    """Raise unless the two graphs have identical vertex/edge sets."""
+    if a.n != b.n:
+        raise GraphError(f"vertex counts differ: {a.n} vs {b.n}")
+    for u in range(a.n):
+        if a.adjacency[u] != b.adjacency[u]:
+            raise GraphError(f"neighbourhoods of vertex {u} differ")

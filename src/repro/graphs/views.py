@@ -1,0 +1,69 @@
+"""Induced-subgraph helpers.
+
+``G[H]`` — the subgraph induced by a vertex set ``H`` (paper Table II) —
+appears in every definition.  Solvers mostly avoid materialising it (they
+work on the base graph restricted by a set), but tests, the certifier and
+the exact solver want a real :class:`Graph`, which
+:func:`induced_subgraph` provides together with the id remapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def induced_subgraph(
+    graph: Graph, vertices: Iterable[int]
+) -> tuple[Graph, dict[int, int]]:
+    """Materialise ``G[H]`` as a standalone graph.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[original_id] = new_id``.
+    New ids follow sorted original order, so the mapping is deterministic.
+    """
+    ordered = sorted(set(vertices))
+    for v in ordered:
+        graph.check_vertex(v)
+    mapping = {v: i for i, v in enumerate(ordered)}
+    member = set(ordered)
+    adj: list[set[int]] = [set() for __ in ordered]
+    base = graph.adjacency
+    for v in ordered:
+        nv = mapping[v]
+        for u in base[v] & member:
+            adj[nv].add(mapping[u])
+    weights = np.asarray([graph.weight(v) for v in ordered], dtype=np.float64)
+    labels = None
+    if graph.labels is not None:
+        labels = [graph.labels[v] for v in ordered]
+    return Graph(adj, weights, labels=labels, _trusted=True), mapping
+
+
+def induced_degrees(graph: Graph, vertices: Iterable[int]) -> dict[int, int]:
+    """``d(v, H)`` for every ``v`` in ``H``, without building ``G[H]``."""
+    subset = set(vertices)
+    adj = graph.adjacency
+    return {v: len(adj[v] & subset) for v in subset}
+
+
+def induced_edge_count(graph: Graph, vertices: Iterable[int]) -> int:
+    """Number of edges inside ``G[H]``."""
+    subset = set(vertices)
+    adj = graph.adjacency
+    return sum(len(adj[v] & subset) for v in subset) // 2
+
+
+def min_induced_degree(graph: Graph, vertices: Iterable[int]) -> int:
+    """``delta(H)``: minimum degree inside the induced subgraph.
+
+    Returns 0 for the empty set (matching the convention that an empty
+    subgraph is never a k-core for k >= 1).
+    """
+    subset = set(vertices)
+    if not subset:
+        return 0
+    adj = graph.adjacency
+    return min(len(adj[v] & subset) for v in subset)

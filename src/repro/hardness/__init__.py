@@ -1,0 +1,34 @@
+"""Hardness constructions (paper Section III) and solution certification.
+
+:mod:`repro.hardness.reductions` builds the reduction gadgets of Theorems
+1, 3 and 4 as executable graph transformations — tests run solvers on the
+gadgets to confirm the reductions behave as the proofs claim.
+:mod:`repro.hardness.certificates` validates claimed solutions against
+Definitions 3-5 (the postcondition checker for every solver).
+"""
+
+from repro.hardness.certificates import (
+    certify_community,
+    certify_result_set,
+    check_cohesive,
+    check_connected,
+    check_maximal,
+)
+from repro.hardness.reductions import (
+    avg_hardness_gadget,
+    clique_decision_via_tic,
+    inapproximability_gadget,
+    sum_size_constrained_gadget,
+)
+
+__all__ = [
+    "avg_hardness_gadget",
+    "certify_community",
+    "certify_result_set",
+    "check_cohesive",
+    "check_connected",
+    "check_maximal",
+    "clique_decision_via_tic",
+    "inapproximability_gadget",
+    "sum_size_constrained_gadget",
+]

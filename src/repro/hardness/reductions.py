@@ -1,0 +1,110 @@
+"""Executable reduction gadgets from the paper's hardness proofs.
+
+Each function constructs the graph transformation used in a Section III
+proof, returning the transformed graph plus whatever bookkeeping the
+argument needs.  Tests instantiate the gadgets on small inputs and verify
+the stated equivalences hold when solved exactly — i.e. the proofs
+"execute".
+
+* Theorem 1 (avg is NP-hard): zero-weight copy of G plus one universal
+  vertex of weight ``wc``; G has a (k-1)-clique iff the top-1 k-influential
+  community under avg has value ``wc / (k + 1)``.
+* Theorem 3 (no constant-factor approximation for avg): all-``wc`` copy of
+  G plus a universal vertex of weight ``|V| * wc``, tying avg quality to
+  the MSMD_k minimisation.
+* Theorem 4 (size-constrained sum is NP-hard): uniform weights and
+  ``s = k + 1`` make the top-1 size-constrained community under sum a
+  (k+1)-clique detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+
+
+def _with_universal_vertex(
+    graph: Graph, weights: np.ndarray, universal_weight: float
+) -> tuple[Graph, int]:
+    """Copy ``graph``, append a vertex adjacent to everything."""
+    n = graph.n
+    builder = GraphBuilder(n)
+    for u, v in graph.edges():
+        builder.add_edge(u, v)
+    builder.set_weights(weights)
+    hub = builder.add_vertex(weight=universal_weight)
+    for v in range(n):
+        builder.add_edge(v, hub)
+    return builder.build(), hub
+
+
+def avg_hardness_gadget(graph: Graph, wc: float = 100.0) -> tuple[Graph, int]:
+    """Theorem 1 construction.
+
+    Every original vertex gets weight 0; a new universal vertex ``u`` of
+    weight ``wc`` is attached to all of them.  In the result, a k-influential
+    community achieving avg value ``wc / (k + 1)`` must be ``u`` plus a
+    (k-1)-clique of G: u contributes the only weight, so avg maximisation
+    is community-size minimisation, and the smallest connected min-degree-k
+    subgraph containing u has k+1 vertices exactly when G has a
+    (k-1)-clique.  Returns (gadget graph, hub vertex id).
+    """
+    if wc <= 0:
+        raise ReproError(f"hub weight must be positive, got {wc}")
+    zero_weights = np.zeros(graph.n, dtype=np.float64)
+    return _with_universal_vertex(graph, zero_weights, wc)
+
+
+def avg_gadget_certificate_value(k: int, wc: float = 100.0) -> float:
+    """The avg value witnessing a (k-1)-clique: ``wc / (k + 1)``."""
+    return wc / (k + 1)
+
+
+def inapproximability_gadget(graph: Graph, wc: float = 1.0) -> tuple[Graph, int]:
+    """Theorem 3 construction.
+
+    Every original vertex gets weight ``wc``; the universal vertex gets
+    ``|V| * wc``.  An alpha-approximation for top-1 (k+1)-influential
+    community under avg on this gadget yields a (4/alpha)-approximation
+    for MSMD_k on G — tests verify the value identity
+    ``avg(S + hub) = (|S| + |V|) * wc / (|S| + 1)`` that the proof rests on.
+    """
+    if wc <= 0:
+        raise ReproError(f"base weight must be positive, got {wc}")
+    uniform = np.full(graph.n, wc, dtype=np.float64)
+    return _with_universal_vertex(graph, uniform, graph.n * wc)
+
+
+def sum_size_constrained_gadget(graph: Graph) -> Graph:
+    """Theorem 4 construction: unit weights, solve with ``s = k + 1``.
+
+    With all weights 1 and size bound k+1, a size-constrained community of
+    sum value k+1 exists iff G contains a (k+1)-clique (a connected
+    subgraph on k+1 vertices with minimum degree k is precisely K_{k+1}).
+    """
+    return graph.with_weights(np.ones(graph.n, dtype=np.float64))
+
+
+def clique_decision_via_tic(graph: Graph, clique_size: int) -> bool:
+    """Decide "does G contain a clique of size q" through the TIC problem.
+
+    Instantiates the Theorem 4 reduction and solves it with the exact
+    size-constrained solver: q-clique exists iff the top-1 community with
+    k = q - 1, s = q under sum has value q.  Exponential (it drives
+    TIC-EXACT); only sensible on small graphs — which is the point: the
+    reduction direction "clique solves TIC -> TIC at least as hard" is
+    what the tests check.
+    """
+    if clique_size < 2:
+        raise ReproError(f"clique size must be >= 2, got {clique_size}")
+    if clique_size > graph.n:
+        return False
+    from repro.influential.exact import tic_exact
+
+    gadget = sum_size_constrained_gadget(graph)
+    k = clique_size - 1
+    result = tic_exact(gadget, k=k, r=1, s=clique_size, f="sum")
+    return len(result) > 0 and result[0].value == float(clique_size)

@@ -1,0 +1,150 @@
+"""High-level query API: one entry point, paper-faithful dispatch.
+
+:func:`top_r_communities` routes a query to the right algorithm the way
+the paper's Table I and Sections IV-V lay it out:
+
+===================  ==================  =====================================
+problem              aggregation          algorithm
+===================  ==================  =====================================
+unconstrained        min / max            dedicated peel / anchor sweep
+unconstrained        sum / sum-surplus    Algorithm 2 (exact at eps=0)
+unconstrained        avg / densities      Algorithm 4 with s = |V| (heuristic)
+size-constrained     any                  Algorithm 4 (greedy or random)
+size-constrained     any (tiny graphs)    Algorithm 3 via ``method="exact"``
+===================  ==================  =====================================
+
+Non-overlapping (TONIC) requests use the disjoint-component shortcut for
+size-proportional aggregators, greedy disjoint selection over the full
+family for min/max, and accept-and-remove local search otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.aggregators.base import Aggregator
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.influential.exact import tic_exact
+from repro.influential.improved import tic_improved
+from repro.influential.local_search import local_search
+from repro.influential.minmax_solvers import (
+    max_communities,
+    min_communities,
+    top_r_max,
+    top_r_min,
+)
+from repro.influential.naive_sum import sum_naive
+from repro.influential.nonoverlap import (
+    greedy_disjoint,
+    tonic_sum_unconstrained,
+)
+from repro.influential.results import ResultSet
+from repro.influential.spec import ProblemSpec
+
+#: Recognised ``method`` values.
+METHODS = ("auto", "naive", "improved", "approx", "exact", "local", "bruteforce")
+
+
+def top_r_communities(
+    graph: Graph,
+    k: int,
+    r: int,
+    f: "str | Aggregator" = "sum",
+    s: int | None = None,
+    method: str = "auto",
+    eps: float = 0.0,
+    non_overlapping: bool = False,
+    greedy: bool = True,
+    seed_order: str | None = None,
+    rng_seed: int | None = None,
+) -> ResultSet:
+    """Find the top-r (non-overlapping) (size-constrained) communities.
+
+    Parameters mirror the paper: degree constraint ``k``, output count
+    ``r``, aggregation function ``f`` (name or instance), optional size
+    constraint ``s``, approximation ratio ``eps`` (only used by the
+    Approx method), ``non_overlapping`` for Problem 2, and ``greedy``
+    selecting the local-search variant.  ``method`` forces a specific
+    algorithm; ``"auto"`` follows the dispatch table above.
+    """
+    spec = ProblemSpec.create(k, r, f, s, non_overlapping)
+    spec.validate_for(graph)
+    if method not in METHODS:
+        raise SolverError(f"unknown method {method!r}; expected one of {METHODS}")
+    aggregator = spec.f
+
+    if method == "bruteforce":
+        from repro.influential.bruteforce import (
+            bruteforce_top_r,
+            bruteforce_top_r_nonoverlapping,
+        )
+
+        if non_overlapping:
+            return bruteforce_top_r_nonoverlapping(graph, k, r, aggregator, s)
+        return bruteforce_top_r(graph, k, r, aggregator, s)
+
+    if method == "exact":
+        if non_overlapping:
+            raise SolverError("TIC-EXACT does not implement the TONIC variant")
+        bound = spec.effective_size_bound(graph)
+        return tic_exact(graph, k, r, bound, aggregator)
+
+    if method == "naive":
+        if non_overlapping:
+            return tonic_sum_unconstrained(graph, k, r, aggregator)
+        if spec.size_constrained:
+            raise SolverError("Algorithm 1 solves the size-unconstrained problem")
+        return sum_naive(graph, k, r, aggregator)
+
+    if method == "improved" or method == "approx":
+        if non_overlapping:
+            return tonic_sum_unconstrained(graph, k, r, aggregator)
+        if spec.size_constrained:
+            raise SolverError("Algorithm 2 solves the size-unconstrained problem")
+        use_eps = eps if method == "approx" else 0.0
+        return tic_improved(graph, k, r, aggregator, eps=use_eps)
+
+    if method == "local":
+        bound = spec.effective_size_bound(graph)
+        return local_search(
+            graph, k, r, bound, aggregator,
+            greedy=greedy, non_overlapping=non_overlapping,
+            seed_order=seed_order, rng_seed=rng_seed,
+        )
+
+    return _auto_dispatch(graph, spec, eps, greedy, seed_order, rng_seed)
+
+
+def _auto_dispatch(
+    graph: Graph,
+    spec: ProblemSpec,
+    eps: float,
+    greedy: bool,
+    seed_order: str | None,
+    rng_seed: int | None,
+) -> ResultSet:
+    aggregator, k, r = spec.f, spec.k, spec.r
+
+    if not spec.size_constrained:
+        if aggregator.is_node_dominated:
+            if aggregator.name == "min":
+                family = min_communities(graph, k)
+                if spec.non_overlapping:
+                    return greedy_disjoint(family, r)
+                return top_r_min(graph, k, r)
+            family = max_communities(graph, k)
+            if spec.non_overlapping:
+                return greedy_disjoint(family, r)
+            return top_r_max(graph, k, r)
+        if aggregator.decreases_under_removal:
+            if spec.non_overlapping:
+                return tonic_sum_unconstrained(graph, k, r, aggregator)
+            return tic_improved(graph, k, r, aggregator, eps=eps)
+        # NP-hard unconstrained (avg, densities): the paper's recourse is
+        # local search with s = |V| (Sections III/V).
+
+    bound = spec.effective_size_bound(graph)
+    return local_search(
+        graph, k, r, bound, aggregator,
+        greedy=greedy, non_overlapping=spec.non_overlapping,
+        seed_order=seed_order, rng_seed=rng_seed,
+    )

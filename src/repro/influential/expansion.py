@@ -1,0 +1,247 @@
+"""Fast single-vertex expansion of candidate communities.
+
+Algorithms 1 and 2 share one hot operation: given a connected k-core
+component ``C``, compute the connected k-core components of ``C \\ {v}``
+for every ``v`` (the "children" of ``C`` in the search lattice).  Done
+naively this is O(|C| * (|C| + |E(C)|)) per expansion because each child
+re-cores and re-splits from scratch.
+
+:class:`ExpansionContext` precomputes, once per component:
+
+* the component-local adjacency (children are always subsets of ``C``, so
+  the global graph never needs to be consulted again);
+* induced degrees;
+* the articulation vertices of ``G[C]`` (iterative Tarjan).
+
+Then most removals take the fast path: if no neighbour of ``v`` has
+induced degree exactly k (nothing cascades) and ``v`` is not an
+articulation vertex (the remainder stays connected), the single child is
+literally ``C - {v}`` — one C-level set copy instead of a Python BFS.
+Otherwise a localised cascade runs on a copied degree map and only then is
+the survivor set split by BFS.
+
+Influence values and Zobrist hashes are carried *incrementally*: a child's
+value is the parent's minus the removed weight (sum family) and its hash is
+the parent's XORed with the removed tokens, so neither costs a walk over
+the child.  ``min_removal_loss`` additionally gives solvers a lower bound
+on the value lost by deleting a vertex, letting them skip generating
+children that cannot beat the current pruning threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregators.base import Aggregator
+from repro.graphs.graph import Graph
+from repro.utils.zobrist import ZobristHasher
+
+
+@dataclass(frozen=True)
+class ChildCandidate:
+    """One expansion product: vertex set, influence value, Zobrist hash."""
+
+    vertices: frozenset[int]
+    value: float
+    key: int
+
+
+class ExpansionContext:
+    """Per-component state for fast child generation.
+
+    ``parent_value`` is ``f(component)`` and ``parent_key`` its Zobrist
+    hash; both are updated incrementally into every child.
+    """
+
+    __slots__ = (
+        "graph",
+        "k",
+        "component",
+        "aggregator",
+        "parent_value",
+        "parent_key",
+        "hasher",
+        "local_adj",
+        "degree",
+        "articulation",
+        "weights",
+        "_sum_alpha",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        component: frozenset[int],
+        k: int,
+        aggregator: Aggregator,
+        parent_value: float,
+        hasher: ZobristHasher,
+        parent_key: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.component = component
+        self.aggregator = aggregator
+        self.parent_value = parent_value
+        self.hasher = hasher
+        self.parent_key = (
+            parent_key if parent_key is not None else hasher.hash_set(component)
+        )
+        adj = graph.adjacency
+        self.local_adj = {v: adj[v] & component for v in component}
+        self.degree = {v: len(neigh) for v, neigh in self.local_adj.items()}
+        self.articulation = _articulation_vertices(self.local_adj)
+        self.weights = graph.weights
+        # Sum-family detection for incremental values: alpha is the
+        # per-vertex surcharge (0 for plain sum, None for non-sum-family).
+        if aggregator.name == "sum":
+            self._sum_alpha: float | None = 0.0
+        elif aggregator.name.startswith("sum-surplus"):
+            self._sum_alpha = float(getattr(aggregator, "alpha", 0.0))
+        else:
+            self._sum_alpha = None
+
+    def min_removal_loss(self, v: int) -> float:
+        """A lower bound on ``f(component) - f(child)`` over all children
+        produced by removing ``v``.
+
+        For the sum family the loss is at least the removed vertex's own
+        contribution; for other aggregators no cheap bound exists (return
+        0, i.e. never skip).
+        """
+        if self._sum_alpha is None:
+            return 0.0
+        return float(self.weights[v]) + self._sum_alpha
+
+    def _value_of(self, child: frozenset[int], removed: set[int]) -> float:
+        """Child influence value, incrementally for the sum family."""
+        if self._sum_alpha is None:
+            return self.aggregator.value(self.graph, child)
+        weights = self.weights
+        lost = float(sum(weights[u] for u in removed))
+        return self.parent_value - lost - self._sum_alpha * len(removed)
+
+    def _key_of(self, removed: set[int]) -> int:
+        """Child Zobrist key: parent key XOR removed tokens."""
+        key = self.parent_key
+        hasher = self.hasher
+        for u in removed:
+            key = hasher.toggle(key, u)
+        return key
+
+    def children_after_removal(self, v: int) -> list[ChildCandidate]:
+        """Connected k-core components of ``component - {v}`` with values."""
+        component, k = self.component, self.k
+        weak = [u for u in self.local_adj[v] if self.degree[u] == k]
+        if not weak and v not in self.articulation:
+            # Fast path: no cascade, still connected.
+            if len(component) - 1 <= k:
+                return []
+            child = component - {v}
+            removed = {v}
+            return [
+                ChildCandidate(child, self._value_of(child, removed),
+                               self._key_of(removed))
+            ]
+        # Slow path: localised cascade on a copied degree map.
+        degree = self.degree.copy()
+        removed = {v}
+        stack = [v]
+        local_adj = self.local_adj
+        while stack:
+            x = stack.pop()
+            for u in local_adj[x]:
+                if u in removed:
+                    continue
+                degree[u] -= 1
+                if degree[u] < k:
+                    removed.add(u)
+                    stack.append(u)
+        survivors = component - removed
+        if len(survivors) <= k:
+            return []
+        pieces = _split_components(local_adj, survivors)
+        children = []
+        for piece in pieces:
+            piece_removed = removed if len(pieces) == 1 else set(component - piece)
+            children.append(
+                ChildCandidate(
+                    piece,
+                    self._value_of(piece, piece_removed),
+                    self._key_of(piece_removed),
+                )
+            )
+        return children
+
+
+def _split_components(
+    local_adj: dict[int, set[int]], survivors: set[int]
+) -> list[frozenset[int]]:
+    """Connected components of the survivor set under component-local
+    adjacency, ordered by smallest member."""
+    remaining = set(survivors)
+    components: list[frozenset[int]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        remaining.discard(seed)
+        stack = [seed]
+        members = {seed}
+        while stack:
+            u = stack.pop()
+            for w in local_adj[u] & remaining:
+                remaining.discard(w)
+                members.add(w)
+                stack.append(w)
+        components.append(frozenset(members))
+    components.sort(key=min)
+    return components
+
+
+def _articulation_vertices(local_adj: dict[int, set[int]]) -> set[int]:
+    """Articulation (cut) vertices of the graph given by ``local_adj``.
+
+    Iterative Tarjan lowpoint algorithm — recursion-free because component
+    sizes reach thousands and CPython's stack does not.
+    """
+    visited: set[int] = set()
+    depth: dict[int, int] = {}
+    low: dict[int, int] = {}
+    articulation: set[int] = set()
+    for root in local_adj:
+        if root in visited:
+            continue
+        root_children = 0
+        # Each frame: (vertex, parent, iterator over neighbours).
+        stack = [(root, None, iter(local_adj[root]))]
+        visited.add(root)
+        depth[root] = 0
+        low[root] = 0
+        while stack:
+            v, parent, neighbours = stack[-1]
+            advanced = False
+            for u in neighbours:
+                if u == parent:
+                    continue
+                if u in visited:
+                    if depth[u] < low[v]:
+                        low[v] = depth[u]
+                else:
+                    visited.add(u)
+                    depth[u] = depth[v] + 1
+                    low[u] = depth[u]
+                    if v == root:
+                        root_children += 1
+                    stack.append((u, v, iter(local_adj[u])))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            stack.pop()
+            if parent is not None:
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+                if parent != root and low[v] >= depth[parent]:
+                    articulation.add(parent)
+        if root_children > 1:
+            articulation.add(root)
+    return articulation

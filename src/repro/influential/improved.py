@@ -1,0 +1,181 @@
+"""Algorithm 2 — TIC-IMPROVED (paper Section IV.A, Theorem 6).
+
+Best-first refinement of Algorithm 1.  A max-heap ``L`` of candidate
+communities is seeded with the k-core components; each round pops the
+community with the largest influence value ``Lmax``, confirms it, and
+expands it by deleting one vertex at a time and re-coring (Lines 11-19).
+Two prunings keep the frontier small:
+
+* children are discarded unless they reach the value of the current r-th
+  best candidate (Line 13's ``f(H) > f(Lr)``), sound by Corollary 2;
+* with ``eps > 0``, any child whose value reaches the lower bound
+  ``LB = (1 - eps) * f(Lmax)`` is *confirmed immediately* (Lines 16-17)
+  instead of waiting to be popped, trading exactness for fewer rounds.
+
+At ``eps = 0`` this is the paper's "Improve" configuration and is exact:
+the popped maximum always dominates every unexplored candidate because
+values only decrease along expansion (Corollary 2).  For ``eps > 0`` the
+output satisfies Definition 8: the r-th reported value is at least
+``(1 - eps)`` times the exact r-th value (Theorem 6).  Children are
+de-duplicated with an incremental Zobrist hash — different deletion orders
+frequently regenerate the same community — and generated through the
+articulation-aware fast path of :mod:`repro.influential.expansion`.
+
+Complexity: O(r * n * (n + m)) as analysed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.aggregators.base import Aggregator
+from repro.aggregators.registry import get_aggregator
+from repro.aggregators.summation import Sum
+from repro.core.kcore import connected_kcore_components
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.influential.community import Community, community_from_vertices
+from repro.influential.expansion import ExpansionContext
+from repro.influential.results import ResultSet
+from repro.utils.heaps import LazyMaxHeap
+from repro.utils.topr import TopR
+from repro.utils.zobrist import CommunityDeduper, ZobristHasher
+
+
+def tic_improved(
+    graph: Graph,
+    k: int,
+    r: int,
+    f: "str | Aggregator | None" = None,
+    eps: float = 0.0,
+) -> ResultSet:
+    """Top-r size-unconstrained communities via best-first search.
+
+    ``eps = 0`` gives the exact "Improve" variant; ``eps > 0`` the
+    "Approx" variant with the Theorem 6 guarantee (paper default 0.1).
+    """
+    aggregator = get_aggregator(f) if f is not None else Sum()
+    if not aggregator.decreases_under_removal:
+        raise SolverError(
+            f"Algorithm 2 requires an aggregator that decreases under vertex "
+            f"removal (Corollary 2); {aggregator.name!r} does not — use local "
+            f"search instead (Remark 1)"
+        )
+    if k < 1 or r < 1:
+        raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
+    if not 0.0 <= eps < 1.0:
+        raise SolverError(f"approximation ratio eps must be in [0, 1), got {eps}")
+
+    # Lines 1-2: seed the candidate heap with the k-core components.
+    # Heap payloads carry (community, zobrist_key) so expansion contexts
+    # can derive child keys incrementally.
+    frontier: LazyMaxHeap[tuple[Community, int]] = LazyMaxHeap()
+    hasher = ZobristHasher(graph.n)
+    seen = CommunityDeduper(hasher)
+    # `candidate_top` tracks the r best candidate values ever generated;
+    # its threshold is the paper's f(Lr) pruning bound (Line 13).
+    candidate_top: TopR[float] = TopR(r, key=lambda v: v)
+    for component in connected_kcore_components(graph, range(graph.n), k):
+        community = community_from_vertices(graph, component, aggregator, k)
+        key = hasher.hash_set(community.vertices)
+        seen.add(community.vertices, key)
+        frontier.push(community.value, (community, key))
+        candidate_top.offer(community.value)
+
+    results: list[Community] = []
+    confirmed: set[frozenset[int]] = set()
+
+    while frontier and len(results) < r:
+        value, (lmax, lmax_key) = frontier.pop()  # Line 8: best candidate
+        if lmax.vertices not in confirmed:
+            confirmed.add(lmax.vertices)
+            results.append(lmax)
+            if len(results) >= r:
+                break
+        lower_bound = (1.0 - eps) * value  # Line 9
+
+        # Lines 11-19: expand Lmax by single-vertex deletions.
+        context = ExpansionContext(
+            graph, lmax.vertices, k, aggregator, value, hasher, lmax_key
+        )
+        prune_at = candidate_top.threshold()
+        for vertex in lmax.members():
+            # Weight-based pre-skip: if even the cheapest possible child
+            # (losing only this vertex) falls below the pruning bound,
+            # no child of this removal can place — skip generating them.
+            if (
+                candidate_top.is_full
+                and value - context.min_removal_loss(vertex) < prune_at
+            ):
+                continue
+            for child in context.children_after_removal(vertex):
+                # Line 13: prune strictly-dominated children — strictly
+                # below the r-th candidate value they can never place.
+                if candidate_top.is_full and child.value < prune_at:
+                    continue
+                if not seen.add(child.vertices, child.key):
+                    continue
+                community = Community(
+                    child.vertices, child.value, aggregator.name, k
+                )
+                candidate_top.offer(child.value)
+                prune_at = candidate_top.threshold()
+                # Lines 16-17: eps-confirmation of near-maximal children.
+                if (
+                    eps > 0.0
+                    and child.value >= lower_bound
+                    and len(results) < r
+                    and child.vertices not in confirmed
+                ):
+                    confirmed.add(child.vertices)
+                    results.append(community)
+                frontier.push(child.value, (community, child.key))
+        if eps > 0.0 and len(results) >= r:
+            break
+    return ResultSet(results[:r])
+
+
+def peel_below_average(
+    graph: Graph,
+    k: int,
+    r: int,
+    max_rounds: int = 64,
+) -> ResultSet:
+    """Extension heuristic for the (NP-hard) unconstrained avg problem.
+
+    Not part of the paper's algorithm suite (its future-work section notes
+    the unconstrained NP-hard cases are open); included as a documented
+    extension: repeatedly delete the vertex with the lowest weight from
+    the current best component while the average improves, re-coring after
+    each deletion, and keep the best r intermediate components seen.
+    """
+    from repro.aggregators.average import Average
+
+    aggregator = Average()
+    top: TopR[Community] = TopR(r, key=lambda c: c.value)
+    seen: set[frozenset[int]] = set()
+    components = connected_kcore_components(graph, range(graph.n), k)
+    weights = graph.weights
+    for component in components:
+        current = set(component)
+        for __ in range(max_rounds):
+            community = community_from_vertices(graph, current, aggregator, k)
+            if community.vertices not in seen:
+                seen.add(community.vertices)
+                top.offer(community)
+            if len(current) <= k + 1:
+                break
+            lightest = min(current, key=lambda v: (weights[v], v))
+            candidate = set(current)
+            candidate.discard(lightest)
+            children = connected_kcore_components(graph, candidate, k)
+            if not children:
+                break
+            # Follow the child with the best average.
+            best_child = max(
+                children, key=lambda c: sum(weights[v] for v in c) / len(c)
+            )
+            if sum(weights[v] for v in best_child) / len(best_child) <= (
+                community.value
+            ):
+                break
+            current = set(best_child)
+    return ResultSet(top.ranked())

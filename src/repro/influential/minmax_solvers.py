@@ -1,0 +1,151 @@
+"""Polynomial solvers for the node-dominated aggregators (min and max).
+
+These are the prior-work baselines the paper builds on: Li et al. (VLDB
+2015) introduced the min-based influential community model and its peel
+algorithm; Bi et al. (VLDB 2018) improved it; the paper notes both extend
+to max.  We implement:
+
+* :func:`min_communities` — forward peel: repeatedly record the connected
+  component about to lose its minimum-weight vertex, delete that vertex
+  (all tied minima together, so recorded values strictly increase along
+  each chain) and cascade.  The recorded components are exactly the
+  k-influential communities under min: when a component C with minimum
+  weight m is recorded, the alive set equals the maximal k-core of
+  ``{v : w(v) >= m}`` (peeling preserves sub-k-cores), so any connected
+  cohesive superset of C with the same value would sit in the same
+  component — i.e. C is maximal.  The family is laminar.
+
+* :func:`max_communities` — descending anchor sweep: process vertices by
+  decreasing weight; when an anchor is still alive, the component
+  containing it is the maximal community in which that anchor is the
+  heaviest vertex; record it, then delete the whole tie-group and cascade.
+  Symmetric maximality argument over ``{v : w(v) <= w(anchor)}``.
+
+Both run in O(n * (n + m)) worst case (component splits are re-discovered
+by BFS after each cascade), comfortably under the paper's budgets at
+stand-in scale.
+"""
+
+from __future__ import annotations
+
+from repro.aggregators.minmax import Maximum, Minimum
+from repro.core.peeler import PeelingWorkspace
+from repro.errors import SolverError
+from repro.graphs.components import connected_components_of
+from repro.graphs.graph import Graph
+from repro.influential.community import Community
+from repro.influential.results import ResultSet
+
+
+def _check(k: int, r: int) -> None:
+    if k < 1 or r < 1:
+        raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
+
+
+def min_communities(graph: Graph, k: int, limit: int | None = None) -> list[Community]:
+    """Every k-influential community under min, in peel (discovery) order.
+
+    ``limit`` stops early after that many communities (top-r callers do not
+    need the full laminar family, though it is at most O(n) long).
+    """
+    if k < 1:
+        raise SolverError(f"need k >= 1, got {k}")
+    aggregator = Minimum()
+    workspace = PeelingWorkspace(graph, k)
+    weights = graph.weights
+    found: list[Community] = []
+    # Worklist of components; each is processed independently (cascades
+    # cannot cross component boundaries).
+    worklist = workspace.components()
+    while worklist:
+        component = worklist.pop()
+        if not component:
+            continue
+        minimum = min(weights[v] for v in component)
+        found.append(
+            Community(frozenset(component), float(minimum), aggregator.name, k)
+        )
+        if limit is not None and len(found) >= limit:
+            return found
+        # Delete every vertex holding the minimum (ties together, so the
+        # child components' minima strictly exceed this community's value
+        # and maximality is preserved), then cascade.
+        tied = [v for v in component if weights[v] == minimum]
+        removed = set(workspace.remove_all(tied))
+        survivors = component - removed
+        if survivors:
+            worklist.extend(connected_components_of(graph, survivors))
+    return found
+
+
+def max_communities(graph: Graph, k: int, limit: int | None = None) -> list[Community]:
+    """Every k-influential community under max, best first.
+
+    Values are non-increasing in discovery order by construction, so the
+    first ``limit`` entries are already the top-``limit``.
+    """
+    if k < 1:
+        raise SolverError(f"need k >= 1, got {k}")
+    aggregator = Maximum()
+    workspace = PeelingWorkspace(graph, k)
+    weights = graph.weights
+    found: list[Community] = []
+    order = sorted(workspace.alive, key=lambda v: (-weights[v], v))
+    index = 0
+    while index < len(order):
+        anchor = order[index]
+        if anchor not in workspace.alive:
+            index += 1
+            continue
+        value = float(weights[anchor])
+        # Gather the whole tie group at this weight that is still alive.
+        tie_group = [anchor]
+        j = index + 1
+        while j < len(order) and weights[order[j]] == value:
+            if order[j] in workspace.alive:
+                tie_group.append(order[j])
+            j += 1
+        # Record each distinct component containing a tie-group member.
+        recorded: set[int] = set()
+        for v in tie_group:
+            if v in recorded or v not in workspace.alive:
+                continue
+            component = workspace.component_of(v)
+            recorded |= component
+            found.append(Community(frozenset(component), value, aggregator.name, k))
+            if limit is not None and len(found) >= limit:
+                return found
+        workspace.remove_all(tie_group)
+        index = j
+    return found
+
+
+def top_r_min(graph: Graph, k: int, r: int) -> ResultSet:
+    """Top-r k-influential communities under min."""
+    _check(k, r)
+    return ResultSet(sorted(min_communities(graph, k))[:r])
+
+
+def top_r_max(graph: Graph, k: int, r: int) -> ResultSet:
+    """Top-r k-influential communities under max."""
+    _check(k, r)
+    return ResultSet(max_communities(graph, k, limit=r))
+
+
+def top_r_min_noncontained(graph: Graph, k: int, r: int) -> ResultSet:
+    """Top-r *non-contained* communities under min (Li et al.'s variant).
+
+    The min family is laminar; the non-contained communities are exactly
+    its leaves (communities with no recorded strict subset).
+    """
+    _check(k, r)
+    family = min_communities(graph, k)
+    leaves = []
+    for community in family:
+        if not any(
+            other.vertices < community.vertices
+            for other in family
+            if other is not community
+        ):
+            leaves.append(community)
+    return ResultSet(sorted(leaves)[:r])

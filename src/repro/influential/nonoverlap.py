@@ -1,0 +1,105 @@
+"""Non-overlapping (TONIC) community search — Problem 2 / Definition 5.
+
+Three mechanisms cover the aggregator landscape:
+
+* **sum, unconstrained** — the k-core components are already pairwise
+  disjoint and, under a size-proportional aggregator, every community is a
+  subset of a component with no greater value; the paper's observation
+  that "we merely execute Lines 1-3 of Algorithm 2" amounts to returning
+  the top-r components (:func:`tonic_sum_unconstrained`).
+* **enumerable families (min/max)** — greedy disjoint selection over the
+  full community family by descending value (:func:`greedy_disjoint`).
+* **heuristic extraction** — for NP-hard cases, the local search's
+  accept-and-remove mode (already in
+  :func:`repro.influential.local_search.local_search`) or generic repeated
+  top-1-then-delete extraction (:func:`tonic_extract`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.aggregators.base import Aggregator
+from repro.aggregators.registry import get_aggregator
+from repro.core.kcore import connected_kcore_components, kcore_of_subset
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.influential.community import Community, community_from_vertices
+from repro.influential.results import ResultSet
+from repro.utils.topr import TopR
+
+
+def greedy_disjoint(communities: Iterable[Community], r: int) -> ResultSet:
+    """Best-first greedy selection of pairwise-disjoint communities.
+
+    The standard realisation of Definition 5: scan candidates by
+    descending value and keep each one that shares no vertex with anything
+    already kept, stopping at r.
+    """
+    if r < 1:
+        raise SolverError(f"need r >= 1, got {r}")
+    chosen: list[Community] = []
+    used: set[int] = set()
+    for community in sorted(communities):
+        if len(chosen) >= r:
+            break
+        if not used & community.vertices:
+            chosen.append(community)
+            used |= community.vertices
+    return ResultSet(chosen)
+
+
+def tonic_sum_unconstrained(
+    graph: Graph, k: int, r: int, f: "str | Aggregator | None" = None
+) -> ResultSet:
+    """Top-r non-overlapping communities for size-proportional aggregators.
+
+    Exact and near-linear: under Definition 7 every connected k-core is
+    dominated by the k-core component containing it, and the components
+    are disjoint by construction, so the top-r components are an optimal
+    disjoint family (the paper's Lines 1-3 shortcut).
+    """
+    aggregator = get_aggregator(f) if f is not None else get_aggregator("sum")
+    if not aggregator.is_size_proportional:
+        raise SolverError(
+            f"the component shortcut needs a size-proportional aggregator "
+            f"(Definition 7); {aggregator.name!r} is not — use tonic_extract"
+        )
+    if k < 1 or r < 1:
+        raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
+    top: TopR[Community] = TopR(r, key=lambda c: c.value)
+    for component in connected_kcore_components(graph, range(graph.n), k):
+        top.offer(community_from_vertices(graph, component, aggregator, k))
+    return ResultSet(top.ranked())
+
+
+def tonic_extract(
+    graph: Graph,
+    k: int,
+    r: int,
+    top1_solver: Callable[[Graph, set[int]], Community | None],
+) -> ResultSet:
+    """Generic repeated extraction: top-1 on the remaining graph, delete,
+    repeat until r communities or exhaustion.
+
+    ``top1_solver(graph, alive)`` must return the best community within
+    the (already k-cored) ``alive`` set, or None when none exists.  This
+    is the scheme the paper sketches for running any solver in
+    non-overlapping mode.
+    """
+    if k < 1 or r < 1:
+        raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
+    alive = kcore_of_subset(graph, range(graph.n), k)
+    results: list[Community] = []
+    while len(results) < r and alive:
+        best = top1_solver(graph, alive)
+        if best is None:
+            break
+        if best.vertices - alive:
+            raise SolverError(
+                "top1_solver returned a community outside the alive set"
+            )
+        results.append(best)
+        alive -= best.vertices
+        alive = kcore_of_subset(graph, alive, k)
+    return ResultSet(results)

@@ -1,0 +1,79 @@
+"""Container for ranked top-r query answers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.graphs.graph import Graph
+from repro.influential.community import Community
+
+
+class ResultSet(Sequence[Community]):
+    """An immutable ranked list of communities (best first).
+
+    Thin sequence wrapper adding the accessors experiments need: the r-th
+    value (the quantity plotted in the paper's Figures 12-13), disjointness
+    checks for TONIC outputs, and pretty-printing.
+    """
+
+    __slots__ = ("_communities",)
+
+    def __init__(self, communities: Iterable[Community]) -> None:
+        self._communities = tuple(sorted(communities))
+
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __iter__(self) -> Iterator[Community]:
+        return iter(self._communities)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._communities[index]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._communities)} communities)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._communities == other._communities
+
+    def __hash__(self) -> int:
+        return hash(self._communities)
+
+    def values(self) -> list[float]:
+        """Influence values, best first."""
+        return [c.value for c in self._communities]
+
+    def rth_value(self, r: int | None = None) -> float:
+        """Value of the r-th community (1-based; default: the last one).
+
+        This is the effectiveness metric of the paper's Exp-VII.  Returns
+        ``-inf`` when fewer than r communities were found, so comparisons
+        "greedy beats random" remain well-defined on sparse instances.
+        """
+        index = (r if r is not None else len(self._communities)) - 1
+        if index < 0 or index >= len(self._communities):
+            return float("-inf")
+        return self._communities[index].value
+
+    def vertex_sets(self) -> list[frozenset[int]]:
+        """Member sets, best first."""
+        return [c.vertices for c in self._communities]
+
+    def is_pairwise_disjoint(self) -> bool:
+        """True if no two communities overlap (Definition 5)."""
+        seen: set[int] = set()
+        for community in self._communities:
+            if any(v in seen for v in community.vertices):
+                return False
+            seen.update(community.vertices)
+        return True
+
+    def describe(self, graph: Graph | None = None) -> str:
+        """Multi-line report, one community per line, rank-prefixed."""
+        lines = [
+            f"#{rank}: {community.describe(graph)}"
+            for rank, community in enumerate(self._communities, start=1)
+        ]
+        return "\n".join(lines) if lines else "(no communities found)"

@@ -1,0 +1,91 @@
+"""Problem specifications (Problems 1 and 2 of the paper).
+
+A :class:`ProblemSpec` bundles the query parameters — degree constraint
+``k``, output count ``r``, optional size constraint ``s``, aggregation
+function ``f`` and the non-overlapping flag — validates them, and answers
+the classification questions the dispatcher asks (is this instance
+polynomial? which algorithm family applies?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.aggregators.base import Aggregator
+from repro.aggregators.registry import get_aggregator
+from repro.errors import SpecError
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Parameters of a top-r (non-overlapping) (size-constrained) query.
+
+    ``s=None`` means size-unconstrained (the paper's convention is
+    ``s = |V|``); ``non_overlapping=True`` asks for Problem 2 (TONIC)
+    instead of Problem 1 (TIC).
+    """
+
+    k: int
+    r: int
+    f: Aggregator
+    s: int | None = None
+    non_overlapping: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise SpecError(f"degree constraint k must be >= 1, got {self.k}")
+        if self.r < 1:
+            raise SpecError(f"output count r must be >= 1, got {self.r}")
+        if self.s is not None and self.s < self.k + 1:
+            raise SpecError(
+                f"size constraint s={self.s} is infeasible: a k-core needs "
+                f"at least k+1 = {self.k + 1} vertices"
+            )
+        if not isinstance(self.f, Aggregator):
+            raise SpecError(f"f must be an Aggregator, got {type(self.f).__name__}")
+
+    @staticmethod
+    def create(
+        k: int,
+        r: int,
+        f: "str | Aggregator",
+        s: int | None = None,
+        non_overlapping: bool = False,
+    ) -> "ProblemSpec":
+        """Build a spec, resolving ``f`` by name if necessary."""
+        return ProblemSpec(k, r, get_aggregator(f), s, non_overlapping)
+
+    @property
+    def size_constrained(self) -> bool:
+        """True for Problem-1-with-s instances (Definition 4 applies)."""
+        return self.s is not None
+
+    @property
+    def is_np_hard(self) -> bool:
+        """Hardness per the paper's Table I / Section III.
+
+        Size-constrained instances are NP-hard for every aggregator
+        (Theorem 4 for sum; Theorem 1 implies avg; prior reductions for
+        the rest); unconstrained hardness is the aggregator's own flag.
+        """
+        if self.size_constrained:
+            return True
+        return self.f.np_hard_unconstrained
+
+    def effective_size_bound(self, graph: Graph) -> int:
+        """The working size bound: ``s``, or ``|V|`` when unconstrained."""
+        return self.s if self.s is not None else graph.n
+
+    def validate_for(self, graph: Graph) -> None:
+        """Check the spec is meaningful for ``graph``."""
+        if self.k >= graph.n:
+            raise SpecError(
+                f"k={self.k} can never be met in a graph with {graph.n} vertices"
+            )
+        if self.s is not None and self.s > graph.n:
+            raise SpecError(f"size constraint s={self.s} exceeds |V|={graph.n}")
+
+    def with_(self, **changes: object) -> "ProblemSpec":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

@@ -1,0 +1,151 @@
+"""Candidate-construction strategies for the local search (Algorithm 4).
+
+A strategy receives the ordered neighbourhood ``V_i`` of a seed vertex and
+the current top-r list ``L`` and decides which prefix-based candidate
+communities to offer.  The paper gives two:
+
+* :class:`SumStrategy` (Procedure SumStrategy) — take the first ``s``
+  vertices as a block, then shrink from the tail until the block is a
+  k-core whose value beats the current r-th best;
+* :class:`AvgStrategy` (Procedure AvgStrategy) — grow the prefix one
+  vertex at a time, testing every intermediate prefix; in greedy mode the
+  first qualifying prefix wins (later vertices only lower the average, so
+  it is safe to stop), otherwise the best qualifying prefix is kept.
+
+Both evaluate ``f`` through incrementally maintained weight statistics, so
+a strategy invocation costs O(s^2) set operations for the k-core checks,
+matching the paper's complexity accounting.
+
+Strategies are registered by aggregator family in ``strategy_for``; new
+aggregators fall back to :class:`AvgStrategy`'s grow-and-test scheme, which
+makes no monotonicity assumption (paper Remark 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.aggregators.base import Aggregator
+from repro.core.kcore import is_kcore_subset
+from repro.graphs.components import is_connected_subset
+from repro.graphs.graph import Graph
+from repro.influential.community import Community, community_from_vertices
+from repro.utils.stats import IncrementalStats
+from repro.utils.topr import TopR
+
+
+def _is_candidate(graph: Graph, vertices: Sequence[int], k: int) -> bool:
+    """The strategies' "C is k-core" test.
+
+    Cohesiveness (min induced degree >= k) plus connectivity — Definition 3
+    requires both, and a greedy weight-sorted prefix can be disconnected
+    even when its BFS origin was connected.
+    """
+    subset = set(vertices)
+    return is_kcore_subset(graph, subset, k) and is_connected_subset(graph, subset)
+
+
+class Strategy(ABC):
+    """Turns an ordered seed neighbourhood into candidate communities."""
+
+    def __init__(self, graph: Graph, k: int, s: int, aggregator: Aggregator) -> None:
+        self.graph = graph
+        self.k = k
+        self.s = s
+        self.aggregator = aggregator
+        self._graph_total = (
+            graph.total_weight if aggregator.needs_graph_total else None
+        )
+
+    def _value(self, stats: IncrementalStats) -> float:
+        return self.aggregator.from_stats(stats.snapshot(), self._graph_total)
+
+    def _make(self, vertices: Sequence[int]) -> Community:
+        return community_from_vertices(self.graph, vertices, self.aggregator, self.k)
+
+    @abstractmethod
+    def offer_candidates(self, ordered: Sequence[int], top: TopR[Community]) -> None:
+        """Derive candidates from ``ordered`` and offer them to ``top``."""
+
+
+class SumStrategy(Strategy):
+    """Procedure SumStrategy: block of s, shrink from the tail.
+
+    For size-proportional aggregators the largest feasible prefix has the
+    largest value, so the search starts from the full block and drops the
+    last (in greedy mode: lightest) vertices until the k-core test passes
+    or the value no longer beats the threshold.
+    """
+
+    def offer_candidates(self, ordered: Sequence[int], top: TopR[Community]) -> None:
+        block = list(ordered[: self.s])  # Lines 3-5: first s vertices
+        stats = IncrementalStats()
+        weights = self.graph.weights
+        for v in block:
+            stats.add(float(weights[v]))
+        # Lines 6-12: shrink from the tail while worthwhile.
+        while len(block) > self.k and self._value(stats) > top.threshold():
+            if _is_candidate(self.graph, block, self.k):
+                top.offer(self._make(block))
+                break
+            removed = block.pop()  # C.last
+            stats.remove(float(weights[removed]))
+
+
+class AvgStrategy(Strategy):
+    """Procedure AvgStrategy: grow the prefix, test each step.
+
+    ``greedy`` mirrors the paper's flag: with a descending-weight order the
+    first qualifying prefix cannot be improved by adding lighter vertices,
+    so greedy mode stops there (Lines 6-8); random mode collects every
+    qualifying prefix and keeps the best (Lines 9-13).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        s: int,
+        aggregator: Aggregator,
+        greedy: bool,
+    ) -> None:
+        super().__init__(graph, k, s, aggregator)
+        self.greedy = greedy
+
+    def offer_candidates(self, ordered: Sequence[int], top: TopR[Community]) -> None:
+        prefix: list[int] = []
+        stats = IncrementalStats()
+        weights = self.graph.weights
+        best: tuple[float, list[int]] | None = None
+        for v in ordered[: self.s]:  # Lines 3-10
+            prefix.append(v)
+            stats.add(float(weights[v]))
+            if len(prefix) <= self.k:
+                continue
+            value = self._value(stats)
+            if value > top.threshold() and _is_candidate(self.graph, prefix, self.k):
+                if self.greedy:
+                    top.offer(self._make(prefix))  # Lines 6-8
+                    return
+                if best is None or value > best[0]:  # Line 10 collects; 12 argmax
+                    best = (value, list(prefix))
+        if best is not None:
+            top.offer(self._make(best[1]))  # Line 13
+
+
+def strategy_for(
+    graph: Graph,
+    k: int,
+    s: int,
+    aggregator: Aggregator,
+    greedy: bool,
+) -> Strategy:
+    """Pick the paper's strategy for ``aggregator``.
+
+    Size-proportional aggregators get SumStrategy; everything else the
+    grow-and-test AvgStrategy (Remark 1's generic fallback).
+    """
+    if aggregator.is_size_proportional:
+        return SumStrategy(graph, k, s, aggregator)
+    return AvgStrategy(graph, k, s, aggregator, greedy)

@@ -1,0 +1,28 @@
+"""k-truss cohesiveness — the paper's named model extension.
+
+The paper (Section I) notes the influential community model "is extended
+to include additional cohesiveness metrics, e.g., k-truss [20]": a k-truss
+is a subgraph in which every edge closes at least ``k - 2`` triangles.
+Trusses are strictly tighter than (k-1)-cores and better capture
+socially-reinforced groups.
+
+This package supplies the truss substrate (decomposition, maximal k-truss,
+connected components, subset truss) and
+:mod:`repro.influential.truss_search` builds the influential community
+search on top of it, mirroring the k-core solvers.
+"""
+
+from repro.truss.decomposition import truss_decomposition, truss_max
+from repro.truss.ktruss import (
+    connected_ktruss_components,
+    ktruss_of_subset,
+    maximal_ktruss,
+)
+
+__all__ = [
+    "connected_ktruss_components",
+    "ktruss_of_subset",
+    "maximal_ktruss",
+    "truss_decomposition",
+    "truss_max",
+]

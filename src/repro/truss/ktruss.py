@@ -1,0 +1,109 @@
+"""Maximal k-trusses and connected k-truss components of vertex subsets.
+
+Mirrors :mod:`repro.core.kcore` one level up the cohesiveness ladder:
+``ktruss_of_subset`` peels edges whose induced support falls below
+``k - 2`` until a fixpoint and returns the surviving vertex set (vertices
+that kept at least one edge); ``connected_ktruss_components`` splits that
+into connected pieces — the candidate communities of the truss-based
+search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import SpecError
+from repro.graphs.components import connected_components_of
+from repro.graphs.graph import Graph
+
+
+def _check_k(k: int) -> None:
+    if k < 2:
+        raise SpecError(f"truss order k must be >= 2, got {k}")
+
+
+def ktruss_of_subset(
+    graph: Graph, vertices: Iterable[int], k: int
+) -> tuple[set[int], set[tuple[int, int]]]:
+    """The maximal k-truss inside ``G[vertices]``.
+
+    Returns ``(vertex_set, edge_set)`` — the edge set matters because a
+    k-truss is an edge-defined object; the vertex set is every endpoint
+    that kept at least one surviving edge.  Runs support peeling restricted
+    to the subset.
+    """
+    _check_k(k)
+    member = set(vertices)
+    for v in member:
+        graph.check_vertex(v)
+    adj = {v: graph.adjacency[v] & member for v in member}
+    # Induced edge supports.
+    support: dict[tuple[int, int], int] = {}
+    for u in member:
+        for v in adj[u]:
+            if u < v:
+                support[(u, v)] = len(adj[u] & adj[v])
+    threshold = k - 2
+    queue = deque(edge for edge, s in support.items() if s < threshold)
+    removed: set[tuple[int, int]] = set(queue)
+    while queue:
+        u, v = queue.popleft()
+        adj[u].discard(v)
+        adj[v].discard(u)
+        for w in adj[u] & adj[v]:
+            for a, b in ((u, w), (v, w)):
+                edge = (a, b) if a < b else (b, a)
+                if edge in removed:
+                    continue
+                support[edge] -= 1
+                if support[edge] < threshold:
+                    removed.add(edge)
+                    queue.append(edge)
+    surviving_edges = {e for e in support if e not in removed}
+    surviving_vertices = {u for u, v in surviving_edges} | {
+        v for u, v in surviving_edges
+    }
+    return surviving_vertices, surviving_edges
+
+
+def maximal_ktruss(graph: Graph, k: int) -> set[int]:
+    """Vertex set of the maximal k-truss of the whole graph."""
+    vertices, __ = ktruss_of_subset(graph, range(graph.n), k)
+    return vertices
+
+
+def connected_ktruss_components(
+    graph: Graph, vertices: Iterable[int], k: int
+) -> list[set[int]]:
+    """Connected components of the maximal k-truss inside ``G[vertices]``.
+
+    Connectivity is evaluated over the *surviving truss edges* (two truss
+    vertices joined only by a peeled edge are not connected), which is the
+    standard triangle-connected relaxation used by k-truss community
+    models.
+    """
+    truss_vertices, truss_edges = ktruss_of_subset(graph, vertices, k)
+    if not truss_vertices:
+        return []
+    # Build a lightweight adjacency over the surviving edges only.
+    adj: dict[int, set[int]] = {v: set() for v in truss_vertices}
+    for u, v in truss_edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    unvisited = set(truss_vertices)
+    components: list[set[int]] = []
+    for seed in sorted(truss_vertices):
+        if seed not in unvisited:
+            continue
+        comp = {seed}
+        unvisited.discard(seed)
+        stack = [seed]
+        while stack:
+            x = stack.pop()
+            for w in adj[x] & unvisited:
+                unvisited.discard(w)
+                comp.add(w)
+                stack.append(w)
+        components.append(comp)
+    return components

@@ -1,0 +1,91 @@
+"""ASCII charts for the benchmark reports.
+
+The paper presents its evaluation as log-scale line plots; the harness's
+tables carry the same data, and this module renders them as terminal
+charts so the *shape* (who wins, where curves rise and cross) is visible
+at a glance without matplotlib.
+
+One column group per x value, one symbol per series, log-10 y scale by
+default (matching the paper's axes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Plot symbols assigned to series in order.
+SYMBOLS = "ox+*#@%&"
+
+
+def _log10(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def ascii_chart(
+    axis_values: Sequence[object],
+    series: dict[str, Sequence[float | None]],
+    height: int = 10,
+    log_scale: bool = True,
+    y_label: str = "seconds",
+) -> str:
+    """Render named series over a shared x axis as an ASCII chart.
+
+    ``None`` points (skipped measurements) are simply absent.  With
+    ``log_scale`` the y axis is log-10, like the paper's running-time
+    figures.  Returns a multi-line string; empty series yield a stub.
+    """
+    points: list[tuple[int, int, str]] = []  # (x index, row, symbol)
+    values = [
+        v
+        for ys in series.values()
+        for v in ys
+        if v is not None and v > 0
+    ]
+    if not values or height < 2:
+        return "(no data to chart)"
+    transform = _log10 if log_scale else float
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = hi - lo or 1.0
+
+    symbol_of = {
+        name: SYMBOLS[i % len(SYMBOLS)] for i, name in enumerate(series)
+    }
+    for name, ys in series.items():
+        for xi, v in enumerate(ys):
+            if v is None or v <= 0:
+                continue
+            frac = (transform(v) - lo) / span
+            row = round(frac * (height - 1))
+            points.append((xi, row, symbol_of[name]))
+
+    width_per_x = max(len(str(x)) for x in axis_values) + 2
+    grid = [
+        [" " for __ in range(width_per_x * len(axis_values))]
+        for __ in range(height)
+    ]
+    for xi, row, symbol in points:
+        col = xi * width_per_x + width_per_x // 2
+        target = grid[height - 1 - row]
+        # Collision: show a '*' where two series coincide.
+        target[col] = symbol if target[col] == " " else "*"
+
+    top_value = 10**hi if log_scale else hi
+    bottom_value = 10**lo if log_scale else lo
+    lines = [f"{y_label} ({'log scale' if log_scale else 'linear'})"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{top_value:9.3g} |"
+        elif i == height - 1:
+            prefix = f"{bottom_value:9.3g} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    axis_line = " " * 9 + " +" + "-" * (width_per_x * len(axis_values))
+    lines.append(axis_line)
+    labels = "".join(str(x).center(width_per_x) for x in axis_values)
+    lines.append(" " * 11 + labels)
+    legend = "   ".join(f"{sym}={name}" for name, sym in symbol_of.items())
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used by the graph generators (to stitch components together), by connected
+component computations over vertex subsets, and by the certifier when
+checking that a claimed community is connected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class DisjointSetUnion:
+    """Classic union-find over the integers ``0..n-1``.
+
+    Amortised near-O(1) ``find``/``union``.  ``components`` materialises the
+    current partition, which is O(n).
+    """
+
+    __slots__ = ("_parent", "_size", "_count")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint sets currently in the structure."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s set."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already joined.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def size_of(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def union_all(self, pairs: Iterable[tuple[int, int]]) -> int:
+        """Union every pair in ``pairs``; return the number of merges."""
+        merges = 0
+        for a, b in pairs:
+            if self.union(a, b):
+                merges += 1
+        return merges
+
+    def components(self) -> list[list[int]]:
+        """Materialise the partition as a list of sorted vertex lists."""
+        groups: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            groups.setdefault(self.find(x), []).append(x)
+        return sorted(groups.values(), key=lambda g: g[0])
+
+    def representatives(self) -> Iterator[int]:
+        """Yield one canonical representative per set."""
+        for x in range(len(self._parent)):
+            if self.find(x) == x:
+                yield x

@@ -1,0 +1,196 @@
+"""Heap variants used by the solvers.
+
+Two flavours are provided:
+
+* :class:`IndexedMaxHeap` — a max-heap over integer keys with O(log n)
+  ``push``/``pop``/``remove``/``update``.  The peeling algorithms use it to
+  always extract the minimum/maximum weight vertex while supporting the
+  removal of cascaded vertices.
+* :class:`LazyMaxHeap` — a max-heap over arbitrary payloads keyed by a float
+  priority, with lazy deletion.  Algorithm 2's candidate community list is
+  one of these (communities are pushed once, invalidated by token).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Hashable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class IndexedMaxHeap:
+    """Binary max-heap over integer items with an index for random removal.
+
+    Items are arbitrary (hashable) integers; each item has a float priority.
+    Pass ``reverse=True`` for min-heap behaviour.  Ties are broken by item id
+    (ascending) so iteration orders are deterministic.
+    """
+
+    __slots__ = ("_heap", "_pos", "_prio", "_sign")
+
+    def __init__(self, reverse: bool = False) -> None:
+        self._heap: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._prio: dict[int, float] = {}
+        self._sign = 1.0 if not reverse else -1.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._pos
+
+    def _less(self, a: int, b: int) -> bool:
+        # True if item a should sit *below* item b (a is worse than b).
+        pa, pb = self._sign * self._prio[a], self._sign * self._prio[b]
+        if pa != pb:
+            return pa < pb
+        return a > b
+
+    def _swap(self, i: int, j: int) -> None:
+        heap, pos = self._heap, self._pos
+        heap[i], heap[j] = heap[j], heap[i]
+        pos[heap[i]], pos[heap[j]] = i, j
+
+    def _sift_up(self, i: int) -> None:
+        heap = self._heap
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._less(heap[parent], heap[i]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        heap = self._heap
+        n = len(heap)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            best = i
+            if left < n and self._less(heap[best], heap[left]):
+                best = left
+            if right < n and self._less(heap[best], heap[right]):
+                best = right
+            if best == i:
+                return
+            self._swap(i, best)
+            i = best
+
+    def push(self, item: int, priority: float) -> None:
+        """Insert ``item`` with ``priority``; item must not be present."""
+        if item in self._pos:
+            raise KeyError(f"item {item} already in heap")
+        self._prio[item] = priority
+        self._heap.append(item)
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def peek(self) -> tuple[int, float]:
+        """Return (item, priority) of the top without removing it."""
+        if not self._heap:
+            raise IndexError("peek from empty heap")
+        top = self._heap[0]
+        return top, self._prio[top]
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return (item, priority) of the top."""
+        item, priority = self.peek()
+        self.remove(item)
+        return item, priority
+
+    def remove(self, item: int) -> float:
+        """Remove ``item`` from anywhere in the heap; return its priority."""
+        i = self._pos.pop(item)
+        priority = self._prio.pop(item)
+        last = self._heap.pop()
+        if i < len(self._heap):
+            self._heap[i] = last
+            self._pos[last] = i
+            self._sift_down(i)
+            self._sift_up(i)
+        return priority
+
+    def update(self, item: int, priority: float) -> None:
+        """Change the priority of ``item`` in place."""
+        if item not in self._pos:
+            raise KeyError(f"item {item} not in heap")
+        old = self._prio[item]
+        if priority == old:
+            return
+        self._prio[item] = priority
+        i = self._pos[item]
+        self._sift_up(i)
+        self._sift_down(i)
+
+    def priority_of(self, item: int) -> float:
+        """Current priority of ``item``."""
+        return self._prio[item]
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Iterate (item, priority) in arbitrary heap order."""
+        for item in self._heap:
+            yield item, self._prio[item]
+
+
+class LazyMaxHeap(Generic[T]):
+    """Max-heap of (priority, payload) pairs with lazy invalidation.
+
+    Payloads are given opaque tokens on push; ``invalidate(token)`` marks an
+    entry dead without touching the heap, and dead entries are skipped on
+    ``pop``/``peek``.  Suited to the solver frontier where entries are
+    superseded far more often than they are popped.
+    """
+
+    __slots__ = ("_heap", "_dead", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._dead: set[int] = set()
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, priority: float, payload: T) -> int:
+        """Insert ``payload``; return a token usable with invalidate()."""
+        token = next(self._counter)
+        heapq.heappush(self._heap, (-priority, token, payload))
+        self._live += 1
+        return token
+
+    def invalidate(self, token: int) -> None:
+        """Mark the entry with ``token`` as removed."""
+        if token in self._dead:
+            return
+        self._dead.add(token)
+        self._live -= 1
+
+    def _prune(self) -> None:
+        heap = self._heap
+        while heap and heap[0][1] in self._dead:
+            __, token, __payload = heapq.heappop(heap)
+            self._dead.discard(token)
+
+    def peek(self) -> tuple[float, T]:
+        """Return (priority, payload) of the live top without removing."""
+        self._prune()
+        if not self._heap:
+            raise IndexError("peek from empty heap")
+        neg, __, payload = self._heap[0]
+        return -neg, payload
+
+    def pop(self) -> tuple[float, T]:
+        """Remove and return (priority, payload) of the live top."""
+        self._prune()
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        neg, __, payload = heapq.heappop(self._heap)
+        self._live -= 1
+        return -neg, payload

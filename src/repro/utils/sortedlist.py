@@ -1,0 +1,77 @@
+"""A compact sorted multiset built on ``bisect``.
+
+The aggregator layer needs running minima/maxima of community weights under
+both insertions and removals; a balanced tree is overkill for the sizes the
+local-search strategies touch (at most ``s`` elements, paper default 20), so
+a bisect-backed list gives O(log n) search and O(n) insert/remove with tiny
+constants — and stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable, Iterator
+
+
+class SortedMultiset:
+    """Sorted multiset of floats supporting add/discard/min/max/median."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._data = sorted(values)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._data)
+
+    def __contains__(self, value: float) -> bool:
+        i = bisect_left(self._data, value)
+        return i < len(self._data) and self._data[i] == value
+
+    def add(self, value: float) -> None:
+        """Insert ``value`` (duplicates allowed)."""
+        insort(self._data, value)
+
+    def remove(self, value: float) -> None:
+        """Remove one occurrence of ``value``; KeyError if absent."""
+        i = bisect_left(self._data, value)
+        if i >= len(self._data) or self._data[i] != value:
+            raise KeyError(f"value {value!r} not in multiset")
+        del self._data[i]
+
+    def discard(self, value: float) -> bool:
+        """Remove one occurrence if present; return whether removed."""
+        try:
+            self.remove(value)
+        except KeyError:
+            return False
+        return True
+
+    def min(self) -> float:
+        """Smallest element; ValueError when empty."""
+        if not self._data:
+            raise ValueError("min of empty multiset")
+        return self._data[0]
+
+    def max(self) -> float:
+        """Largest element; ValueError when empty."""
+        if not self._data:
+            raise ValueError("max of empty multiset")
+        return self._data[-1]
+
+    def kth(self, k: int) -> float:
+        """The k-th smallest element (0-based)."""
+        return self._data[k]
+
+    def count(self, value: float) -> int:
+        """Number of occurrences of ``value``."""
+        lo = bisect_left(self._data, value)
+        count = 0
+        for x in self._data[lo:]:
+            if x != value:
+                break
+            count += 1
+        return count

@@ -1,0 +1,75 @@
+"""Wall-clock measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     __ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+
+    Repeated ``with`` blocks accumulate into ``elapsed``; ``laps`` records
+    each block separately so sweep runners can report per-run times.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin a lap; error if one is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current lap; return its duration."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def reset(self) -> None:
+        """Zero the accumulated time and laps."""
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running stopwatch")
+        self.elapsed = 0.0
+        self.laps.clear()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's log-scale plots read.
+
+    >>> format_seconds(0.00042)
+    '420us'
+    >>> format_seconds(2.5)
+    '2.50s'
+    """
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

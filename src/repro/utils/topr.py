@@ -1,0 +1,94 @@
+"""Bounded top-r accumulator.
+
+Algorithms 1, 2 and 4 all maintain "the current top-r communities" while
+streaming in candidates.  :class:`TopR` keeps the best ``r`` items seen so
+far under a caller-supplied key, with deterministic tie-breaking, O(log r)
+insertion, and O(1) access to the current r-th value (the pruning threshold
+``f(Lr)`` used throughout Section V).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class TopR(Generic[T]):
+    """Keep the ``r`` largest items by ``key`` among everything offered.
+
+    Ties on the key are broken by insertion order (earlier wins), which makes
+    results reproducible across runs.  ``offer`` returns True when the item
+    enters the current top-r.
+    """
+
+    __slots__ = ("_r", "_key", "_heap", "_counter")
+
+    def __init__(self, r: int, key: Callable[[T], float]) -> None:
+        if r <= 0:
+            raise ValueError(f"r must be positive, got {r}")
+        self._r = r
+        self._key = key
+        # Min-heap of (key, -order, item): the root is the weakest member.
+        self._heap: list[tuple[float, int, T]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate current members best-first."""
+        return iter(self.ranked())
+
+    @property
+    def capacity(self) -> int:
+        """The ``r`` this accumulator was constructed with."""
+        return self._r
+
+    @property
+    def is_full(self) -> bool:
+        """True once r items are held."""
+        return len(self._heap) >= self._r
+
+    def offer(self, item: T) -> bool:
+        """Submit ``item``; True if it is (now) part of the top-r."""
+        entry = (self._key(item), -next(self._counter), item)
+        if len(self._heap) < self._r:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def offer_all(self, items: Iterable[T]) -> int:
+        """Submit many items; return how many entered the top-r."""
+        return sum(1 for item in items if self.offer(item))
+
+    def threshold(self, default: float = float("-inf")) -> float:
+        """Key of the current r-th item, or ``default`` if not yet full.
+
+        This is the ``f(Lr)`` pruning bound of Algorithms 2 and 4: only
+        candidates strictly better than the threshold can change the result.
+        """
+        if not self.is_full:
+            return default
+        return self._heap[0][0]
+
+    def weakest(self) -> T:
+        """The current r-th (weakest) item; IndexError when empty."""
+        if not self._heap:
+            raise IndexError("weakest of empty TopR")
+        return self._heap[0][2]
+
+    def best(self) -> T:
+        """The current best item; IndexError when empty."""
+        if not self._heap:
+            raise IndexError("best of empty TopR")
+        return max(self._heap)[2]
+
+    def ranked(self) -> list[T]:
+        """Members sorted best-first (stable under ties)."""
+        return [item for __, __, item in sorted(self._heap, reverse=True)]

@@ -1,0 +1,97 @@
+"""Incremental set hashing (Zobrist hashing) for community de-duplication.
+
+Algorithm 2 (TIC-IMPROVED) expands a community by removing one vertex and
+re-coring; different removal orders frequently converge to the same child
+community.  Recomputing a canonical key (sorted tuple) per child would cost
+O(|H| log |H|) each time; a Zobrist hash instead assigns every vertex a fixed
+random 64-bit token and hashes a vertex set as the XOR of its members'
+tokens, which updates in O(1) per insertion/removal.
+
+XOR hashing has the usual caveat — distinct sets may collide — so the hash is
+used as a *filter key* only: sets mapping to the same key are compared
+exactly before being declared duplicates (see ``CommunityDeduper``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+_TOKEN_DTYPE = np.uint64
+
+
+class ZobristHasher:
+    """Fixed random token per vertex; set hash = XOR of member tokens."""
+
+    __slots__ = ("_tokens",)
+
+    def __init__(self, n: int, seed: int = 0x5EED) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = np.random.default_rng(seed)
+        self._tokens = rng.integers(
+            0, np.iinfo(_TOKEN_DTYPE).max, size=n, dtype=_TOKEN_DTYPE
+        )
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def token(self, vertex: int) -> int:
+        """The fixed 64-bit token of ``vertex``."""
+        return int(self._tokens[vertex])
+
+    def hash_set(self, vertices: Iterable[int]) -> int:
+        """Hash a whole vertex set from scratch (O(|set|))."""
+        h = 0
+        tokens = self._tokens
+        for v in vertices:
+            h ^= int(tokens[v])
+        return h
+
+    def toggle(self, current: int, vertex: int) -> int:
+        """Hash after adding-or-removing ``vertex`` from a set hashed as
+        ``current`` (XOR is its own inverse, so add and remove coincide)."""
+        return current ^ int(self._tokens[vertex])
+
+
+class CommunityDeduper:
+    """Exact de-duplication of vertex sets with a Zobrist pre-filter.
+
+    ``add`` returns True the first time a set is seen and False on
+    duplicates.  Collisions on the 64-bit key are resolved by comparing
+    frozensets, so the structure is exact.
+    """
+
+    __slots__ = ("_hasher", "_buckets")
+
+    def __init__(self, hasher: ZobristHasher) -> None:
+        self._hasher = hasher
+        self._buckets: dict[int, list[frozenset[int]]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def add(self, vertices: frozenset[int], key: int | None = None) -> bool:
+        """Record ``vertices``; True if new, False if already present.
+
+        ``key`` may carry an incrementally maintained Zobrist hash to skip
+        the from-scratch hashing.
+        """
+        if key is None:
+            key = self._hasher.hash_set(vertices)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [vertices]
+            return True
+        if any(existing == vertices for existing in bucket):
+            return False
+        bucket.append(vertices)
+        return True
+
+    def seen(self, vertices: frozenset[int], key: int | None = None) -> bool:
+        """True if ``vertices`` has been added before (no mutation)."""
+        if key is None:
+            key = self._hasher.hash_set(vertices)
+        bucket = self._buckets.get(key)
+        return bucket is not None and any(existing == vertices for existing in bucket)

@@ -1,0 +1,56 @@
+"""Unit tests for weight density and balanced density."""
+
+import math
+
+import pytest
+
+from repro.aggregators.density import BalancedDensity, WeightDensity
+from repro.errors import AggregatorError
+from repro.utils.stats import SubsetStats
+
+
+def test_weight_density_formula(triangle):
+    agg = WeightDensity(beta=0.5)
+    # w(H) - beta * |H| = 6 - 0.5 * 3
+    assert agg.value(triangle, [0, 1, 2]) == 4.5
+
+
+def test_weight_density_requires_positive_beta():
+    with pytest.raises(AggregatorError):
+        WeightDensity(beta=0.0)
+    with pytest.raises(AggregatorError):
+        WeightDensity(beta=-1.0)
+
+
+def test_weight_density_flags():
+    agg = WeightDensity(beta=1.0)
+    assert agg.np_hard_unconstrained
+    assert not agg.is_size_proportional
+    assert not agg.decreases_under_removal
+
+
+def test_balanced_density_formula(two_triangles):
+    agg = BalancedDensity()
+    # w(H)=60 for {3,4,5}, total=66: 60 / (2*60 - 66) = 60/54
+    assert agg.value(two_triangles, [3, 4, 5]) == pytest.approx(60.0 / 54.0)
+
+
+def test_balanced_density_pole():
+    agg = BalancedDensity()
+    stats = SubsetStats(2, 5.0, 2.0, 3.0)
+    assert math.isinf(agg.from_stats(stats, graph_total=10.0))
+
+
+def test_balanced_density_requires_total():
+    agg = BalancedDensity()
+    with pytest.raises(AggregatorError):
+        agg.from_stats(SubsetStats(1, 1.0, 1.0, 1.0))
+
+
+def test_balanced_density_flag_needs_graph_total():
+    assert BalancedDensity().needs_graph_total
+    assert not WeightDensity(1.0).needs_graph_total
+
+
+def test_parameter_embedded_in_name():
+    assert WeightDensity(beta=0.25).name == "weight-density(beta=0.25)"

@@ -1,0 +1,46 @@
+"""Unit tests for min/max aggregators."""
+
+import pytest
+
+from repro.aggregators.minmax import Maximum, Minimum
+from repro.errors import AggregatorError
+from repro.utils.stats import SubsetStats
+
+
+def test_min_value(triangle):
+    assert Minimum().value(triangle, [0, 1, 2]) == 1.0
+    assert Minimum().value(triangle, [1, 2]) == 2.0
+
+
+def test_max_value(triangle):
+    assert Maximum().value(triangle, [0, 1, 2]) == 3.0
+    assert Maximum().value(triangle, [0, 1]) == 2.0
+
+
+def test_flags_match_table1():
+    mn, mx = Minimum(), Maximum()
+    assert mn.is_node_dominated and mx.is_node_dominated
+    assert not mn.np_hard_unconstrained and not mx.np_hard_unconstrained
+    assert mn.np_hard_constrained and mx.np_hard_constrained
+    assert not mn.decreases_under_removal
+    assert not mx.decreases_under_removal
+    assert mx.is_size_proportional
+    assert not mn.is_size_proportional
+
+
+def test_from_stats():
+    stats = SubsetStats(3, 6.0, 1.0, 3.0)
+    assert Minimum().from_stats(stats) == 1.0
+    assert Maximum().from_stats(stats) == 3.0
+
+
+def test_empty_set_rejected(triangle):
+    with pytest.raises(AggregatorError):
+        Minimum().value(triangle, [])
+    with pytest.raises(AggregatorError):
+        Maximum().from_stats(SubsetStats.empty())
+
+
+def test_names():
+    assert Minimum().name == "min"
+    assert Maximum().name == "max"

@@ -1,0 +1,64 @@
+"""Unit tests for aggregator name resolution."""
+
+import pytest
+
+from repro.aggregators.average import Average
+from repro.aggregators.base import Aggregator
+from repro.aggregators.registry import (
+    available_aggregators,
+    get_aggregator,
+    register_aggregator,
+)
+from repro.aggregators.summation import Sum, SumSurplus
+from repro.errors import AggregatorError
+from repro.utils.stats import SubsetStats
+
+
+def test_basic_names():
+    assert isinstance(get_aggregator("sum"), Sum)
+    assert isinstance(get_aggregator("avg"), Average)
+    assert get_aggregator("min").name == "min"
+    assert get_aggregator("MAX").name == "max"
+    assert get_aggregator("average").name == "avg"
+
+
+def test_parameterised_names():
+    agg = get_aggregator("sum-surplus(alpha=2.5)")
+    assert isinstance(agg, SumSurplus)
+    assert agg.alpha == 2.5
+    agg = get_aggregator("weight-density(0.5)")
+    assert agg.name == "weight-density(beta=0.5)"
+
+
+def test_instance_passthrough():
+    instance = Sum()
+    assert get_aggregator(instance) is instance
+
+
+def test_unknown_and_malformed_rejected():
+    with pytest.raises(AggregatorError):
+        get_aggregator("median")
+    with pytest.raises(AggregatorError):
+        get_aggregator("sum(")
+    with pytest.raises(AggregatorError):
+        get_aggregator(42)  # type: ignore[arg-type]
+
+
+def test_available_listing():
+    names = available_aggregators()
+    for required in ("sum", "avg", "min", "max", "sum-surplus",
+                     "weight-density", "balanced-density"):
+        assert required in names
+
+
+def test_register_custom():
+    class Median(Aggregator):
+        name = "test-median"
+
+        def from_stats(self, stats: SubsetStats, graph_total=None) -> float:
+            return (stats.weight_min + stats.weight_max) / 2
+
+    register_aggregator("test-median", lambda arg: Median())
+    assert get_aggregator("test-median").name == "test-median"
+    with pytest.raises(AggregatorError):
+        register_aggregator("test-median", lambda arg: Median())

@@ -1,0 +1,55 @@
+"""Unit tests for sum and sum-surplus."""
+
+import pytest
+
+from repro.aggregators.summation import Sum, SumSurplus
+from repro.errors import AggregatorError
+from repro.utils.stats import SubsetStats
+
+
+def test_sum_value(triangle):
+    assert Sum().value(triangle, [0, 1, 2]) == 6.0
+    assert Sum().value(triangle, [2]) == 3.0
+
+
+def test_sum_flags_match_table1():
+    agg = Sum()
+    assert agg.is_size_proportional
+    assert agg.decreases_under_removal
+    assert not agg.np_hard_unconstrained
+    assert agg.np_hard_constrained  # Theorem 4
+
+
+def test_sum_surplus_formula(triangle):
+    agg = SumSurplus(alpha=2.0)
+    # w(H) + alpha * |H| = 6 + 2*3
+    assert agg.value(triangle, [0, 1, 2]) == 12.0
+
+
+def test_sum_surplus_default_alpha():
+    agg = SumSurplus()
+    assert agg.alpha == 1.0
+    assert agg.name == "sum-surplus(alpha=1)"
+
+
+def test_sum_surplus_negative_alpha_rejected():
+    with pytest.raises(AggregatorError):
+        SumSurplus(alpha=-0.5)
+
+
+def test_sum_surplus_zero_alpha_equals_sum(triangle):
+    assert SumSurplus(alpha=0.0).value(triangle, [0, 2]) == Sum().value(
+        triangle, [0, 2]
+    )
+
+
+def test_empty_rejected():
+    with pytest.raises(AggregatorError):
+        Sum().from_stats(SubsetStats.empty())
+
+
+def test_equality_by_name():
+    assert Sum() == Sum()
+    assert SumSurplus(1.0) == SumSurplus(1.0)
+    assert SumSurplus(1.0) != SumSurplus(2.0)
+    assert Sum() != SumSurplus(0.0)  # different names even if same values

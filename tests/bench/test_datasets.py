@@ -1,0 +1,42 @@
+"""Unit tests for the benchmark dataset layer."""
+
+from repro.bench.datasets import (
+    FIGURE_DATASETS,
+    LARGE,
+    SMALL,
+    dataset_statistics_table,
+    default_k,
+    get_dataset,
+    k_sweep,
+)
+
+
+def test_grouping_covers_table3():
+    assert set(SMALL) | set(LARGE) == {
+        "domainpub", "email", "dblp", "youtube", "orkut", "livejournal",
+        "friendster",
+    }
+    assert set(FIGURE_DATASETS) == (set(SMALL) | set(LARGE)) - {"domainpub"}
+
+
+def test_memoisation():
+    a = get_dataset("domainpub")
+    b = get_dataset("domainpub")
+    assert a is b
+
+
+def test_default_k_matches_paper_grouping():
+    assert default_k("email") == 4
+    assert default_k("orkut") == 8  # scaled stand-in for the paper's 40
+
+
+def test_k_sweep_shapes():
+    assert k_sweep("email") == (4, 6, 8, 10)
+    assert k_sweep("friendster") == (8, 12, 16, 20)
+
+
+def test_statistics_table_renders():
+    table = dataset_statistics_table()
+    assert "Table III" in table
+    for name in SMALL + LARGE:
+        assert name in table

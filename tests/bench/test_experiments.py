@@ -1,0 +1,54 @@
+"""Smoke tests of the experiment harness (quick mode keeps them fast)."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiments
+from repro.errors import DatasetError
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {"table3"} | {f"fig{i}" for i in range(2, 15)} | {
+        "case", "substrates",
+    }
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_table3_report():
+    report = run_experiments("table3", quick=True)
+    text = report.render_text()
+    assert "Table III" in text
+    md = report.render_markdown()
+    assert md.startswith("# EXPERIMENTS")
+
+
+def test_fig2_quick_runs_and_reports():
+    report = run_experiments("fig2", quick=True)
+    text = report.render_text()
+    assert "naive" in text and "improve" in text and "approx" in text
+    assert "paper shape" in text
+
+
+def test_fig10_quick_skips_infeasible_cells():
+    report = run_experiments("fig10", quick=True)
+    panel = report.reports[0].panels[0]
+    # s = 5 at k = 4 is feasible (5 >= k+1); nothing crashes; the sweep
+    # carries both series.
+    assert set(panel.series) == {"random", "greedy"}
+
+
+def test_fig12_quick_reports_values():
+    report = run_experiments("fig12", quick=True)
+    panel = report.reports[0].panels[0]
+    for series in panel.series.values():
+        for value in series:
+            assert value is None or isinstance(value, float)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(DatasetError):
+        run_experiments("fig99")
+
+
+def test_case_study_report():
+    report = run_experiments("case", quick=True)
+    assert "[min]" in report.render_text()

@@ -1,0 +1,52 @@
+"""Unit tests for the sweep runner."""
+
+import time
+
+from repro.bench.runner import SweepResult, run_sweep, time_call
+
+
+def test_time_call_returns_result():
+    seconds, value = time_call(lambda: sum(range(1000)))
+    assert value == 499500
+    assert seconds >= 0
+
+
+def test_run_sweep_time_mode():
+    result = run_sweep(
+        "demo", "x", [1, 2, 3],
+        algorithms={"slow": lambda x: time.sleep(0.001 * x), "fast": lambda x: None},
+    )
+    assert set(result.series) == {"slow", "fast"}
+    assert len(result.series["slow"]) == 3
+    assert all(v is not None for v in result.series["slow"])
+
+
+def test_run_sweep_value_mode():
+    result = run_sweep(
+        "demo", "x", [2, 4],
+        algorithms={"square": lambda x: x * x},
+        measure="value",
+    )
+    assert result.series["square"] == [4.0, 16.0]
+
+
+def test_run_sweep_skip():
+    result = run_sweep(
+        "demo", "x", [1, 2, 3],
+        algorithms={"alg": lambda x: x},
+        measure="value",
+        skip=lambda name, x: x == 2,
+    )
+    assert result.series["alg"] == [1.0, None, 3.0]
+
+
+def test_render_text_and_markdown():
+    result = SweepResult("My Panel", "k", [1, 2])
+    result.add_point("a", 0.5)
+    result.add_point("a", None)
+    result.notes.append("missing point = skipped")
+    text = result.render_text()
+    assert "My Panel" in text and "-" in text and "note:" in text
+    md = result.render_markdown()
+    assert md.startswith("### My Panel")
+    assert "| k | a |" in md

@@ -1,0 +1,30 @@
+"""The self-verification harness must pass on clean code and must catch
+planted defects."""
+
+from repro.bench.verification import VerificationReport, verify_solvers
+
+
+def test_clean_run_passes():
+    report = verify_solvers(instances=2, base_seed=500)
+    assert report.ok
+    assert report.checks_run > 20
+    assert "all checks passed" in report.render()
+
+
+def test_report_records_failures():
+    report = VerificationReport()
+    report.record(True, "fine")
+    report.record(False, "broken thing")
+    assert not report.ok
+    assert report.checks_run == 2
+    rendered = report.render()
+    assert "1 FAILURES" in rendered
+    assert "broken thing" in rendered
+
+
+def test_cli_verify(capsys):
+    from repro.cli import main
+
+    code = main(["verify", "--instances", "1", "--seed", "321"])
+    assert code == 0
+    assert "all checks passed" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Betweenness centrality cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.centrality.betweenness import betweenness_centrality
+from repro.errors import GraphError
+from repro.graphs.builder import graph_from_edges
+from tests.conftest import random_weighted_graph
+
+
+def _to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def test_matches_networkx_exact():
+    for seed in range(4):
+        graph = random_weighted_graph(25, 0.15, seed=seed)
+        theirs = nx.betweenness_centrality(_to_nx(graph), normalized=True)
+        ours = betweenness_centrality(graph, normalized=True)
+        assert np.allclose(ours, [theirs[v] for v in range(graph.n)], atol=1e-9)
+
+
+def test_unnormalized_matches_networkx():
+    graph = random_weighted_graph(20, 0.2, seed=7)
+    theirs = nx.betweenness_centrality(_to_nx(graph), normalized=False)
+    ours = betweenness_centrality(graph, normalized=False)
+    assert np.allclose(ours, [theirs[v] for v in range(graph.n)], atol=1e-9)
+
+
+def test_path_graph_center(path_graph):
+    centrality = betweenness_centrality(path_graph)
+    assert centrality[2] == max(centrality)
+    assert centrality[0] == 0.0
+
+
+def test_star_hub_is_one():
+    star = graph_from_edges([(0, i) for i in range(1, 7)])
+    centrality = betweenness_centrality(star)
+    assert centrality[0] == pytest.approx(1.0)
+    assert np.allclose(centrality[1:], 0.0)
+
+
+def test_sampled_estimate_close():
+    graph = random_weighted_graph(40, 0.15, seed=11)
+    exact = betweenness_centrality(graph)
+    sampled = betweenness_centrality(graph, sample_size=30, seed=1)
+    # Pivots cover 3/4 of sources: the estimate tracks the exact ranking.
+    top_exact = set(np.argsort(exact)[-5:])
+    top_sampled = set(np.argsort(sampled)[-5:])
+    assert len(top_exact & top_sampled) >= 3
+
+
+def test_sample_size_validation(path_graph):
+    with pytest.raises(GraphError):
+        betweenness_centrality(path_graph, sample_size=0)
+    with pytest.raises(GraphError):
+        betweenness_centrality(path_graph, sample_size=99)
+
+
+def test_tiny_graphs():
+    from repro.graphs.builder import GraphBuilder
+
+    assert betweenness_centrality(GraphBuilder(0).build()).shape == (0,)
+    two = graph_from_edges([(0, 1)])
+    assert np.allclose(betweenness_centrality(two), 0.0)

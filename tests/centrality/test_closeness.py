@@ -1,0 +1,34 @@
+"""Closeness centrality cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.centrality.closeness import closeness_centrality
+from tests.conftest import random_weighted_graph
+
+
+def test_matches_networkx():
+    for seed in range(3):
+        graph = random_weighted_graph(25, 0.15, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.n))
+        g.add_edges_from(graph.edges())
+        theirs = nx.closeness_centrality(g, wf_improved=True)
+        ours = closeness_centrality(graph)
+        for v in range(graph.n):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+
+def test_path_center_is_most_central(path_graph):
+    closeness = closeness_centrality(path_graph)
+    assert closeness[2] == max(closeness)
+
+
+def test_disconnected_components_scored_locally(two_triangles):
+    closeness = closeness_centrality(two_triangles)
+    # All six vertices are symmetric within their triangles.
+    assert closeness[0] == pytest.approx(closeness[5], abs=1e-12)
+
+
+def test_empty_and_singleton(empty_graph):
+    assert closeness_centrality(empty_graph).shape == (0,)

@@ -1,0 +1,26 @@
+"""Unit tests for degree centrality."""
+
+import numpy as np
+
+from repro.centrality.degree import degree_centrality
+
+
+def test_raw_degrees(tiny):
+    raw = degree_centrality(tiny, normalized=False)
+    assert raw.tolist() == [4.0, 4.0, 3.0, 3.0, 2.0, 1.0, 1.0]
+
+
+def test_normalized(triangle):
+    norm = degree_centrality(triangle)
+    assert np.allclose(norm, [1.0, 1.0, 1.0])  # each touches both others
+
+
+def test_empty(empty_graph):
+    assert degree_centrality(empty_graph).shape == (0,)
+
+
+def test_single_vertex():
+    from repro.graphs.builder import GraphBuilder
+
+    graph = GraphBuilder(1).build()
+    assert degree_centrality(graph).tolist() == [0.0]

@@ -1,0 +1,42 @@
+"""Unit tests for citation indices (h, g, i10)."""
+
+import numpy as np
+import pytest
+
+from repro.centrality.hindex import g_index, h_index, i10_index, index_vector
+
+
+def test_h_index_canonical_cases():
+    assert h_index([10, 8, 5, 4, 3]) == 4
+    assert h_index([25, 8, 5, 3, 3]) == 3
+    assert h_index([0, 0]) == 0
+    assert h_index([]) == 0
+    assert h_index([1]) == 1
+
+
+def test_g_index_canonical_cases():
+    # top-g papers need >= g^2 citations in total
+    assert g_index([10, 8, 5, 4, 3]) == 5  # 30 >= 25
+    assert g_index([1, 1, 1]) == 1
+    assert g_index([]) == 0
+
+
+def test_g_dominates_h():
+    rng = np.random.default_rng(1)
+    for __ in range(20):
+        citations = rng.integers(0, 60, size=rng.integers(1, 30))
+        assert g_index(citations) >= h_index(citations)
+
+
+def test_i10():
+    assert i10_index([12, 10, 9.9, 3]) == 2
+    assert i10_index([12, 5], threshold=5) == 2
+    assert i10_index([]) == 0
+
+
+def test_index_vector():
+    authors = [[10, 8, 5], [1, 1]]
+    assert index_vector(authors, "h").tolist() == [3.0, 1.0]
+    assert index_vector(authors, "i10").tolist() == [1.0, 0.0]
+    with pytest.raises(ValueError):
+        index_vector(authors, "zzz")

@@ -1,0 +1,70 @@
+"""PageRank cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.centrality.pagerank import pagerank
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder, graph_from_edges
+from tests.conftest import random_weighted_graph
+
+
+def _nx_pagerank(graph, damping=0.85):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return nx.pagerank(g, alpha=damping, tol=1e-12, max_iter=500)
+
+
+def test_sums_to_one(figure1):
+    ranks = pagerank(figure1)
+    assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(ranks > 0)
+
+
+def test_matches_networkx_on_random_graphs():
+    for seed in range(4):
+        graph = random_weighted_graph(40, 0.12, seed=seed)
+        ours = pagerank(graph, damping=0.85)
+        theirs = _nx_pagerank(graph, damping=0.85)
+        for v in range(graph.n):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-7)
+
+
+def test_symmetry_of_equivalent_vertices(triangle):
+    ranks = pagerank(triangle)
+    assert ranks[0] == pytest.approx(ranks[1], abs=1e-12)
+    assert ranks[1] == pytest.approx(ranks[2], abs=1e-12)
+
+
+def test_isolated_vertices_get_teleport_share():
+    builder = GraphBuilder(3)
+    builder.add_edge(0, 1)
+    graph = builder.build()
+    ranks = pagerank(graph)
+    assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+    assert ranks[2] > 0  # dangling vertex still holds mass
+
+
+def test_star_concentrates_on_hub():
+    graph = graph_from_edges([(0, i) for i in range(1, 8)])
+    ranks = pagerank(graph)
+    assert ranks[0] == max(ranks)
+    assert ranks[0] > 3 * ranks[1]
+
+
+def test_damping_validation(triangle):
+    with pytest.raises(GraphError):
+        pagerank(triangle, damping=1.0)
+    with pytest.raises(GraphError):
+        pagerank(triangle, damping=-0.1)
+
+
+def test_nonconvergence_reported(triangle):
+    with pytest.raises(GraphError):
+        pagerank(triangle, max_iter=0)
+
+
+def test_empty_graph(empty_graph):
+    assert pagerank(empty_graph).shape == (0,)

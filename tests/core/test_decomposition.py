@@ -1,0 +1,61 @@
+"""Core decomposition cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.core.decomposition import core_decomposition, core_number_histogram, kmax
+from tests.conftest import random_weighted_graph
+
+
+def test_tiny_graph_core_numbers(tiny):
+    cores = core_decomposition(tiny)
+    assert cores.tolist() == [3, 3, 3, 3, 2, 1, 1]
+
+
+def test_figure1_is_2core_throughout(figure1):
+    cores = core_decomposition(figure1)
+    assert min(cores) == 2
+    assert kmax(figure1) == 2
+
+
+def test_matches_networkx_on_random_graphs():
+    for seed in range(6):
+        graph = random_weighted_graph(60, 0.08, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.n))
+        g.add_edges_from(graph.edges())
+        expected = nx.core_number(g)
+        ours = core_decomposition(graph)
+        assert {v: int(ours[v]) for v in range(graph.n)} == expected
+
+
+def test_path_graph_cores(path_graph):
+    assert core_decomposition(path_graph).tolist() == [1, 1, 1, 1, 1]
+
+
+def test_empty_graph(empty_graph):
+    assert core_decomposition(empty_graph).shape == (0,)
+    assert kmax(empty_graph) == 0
+
+
+def test_isolated_vertices_are_core_zero():
+    from repro.graphs.builder import GraphBuilder
+
+    builder = GraphBuilder(3)
+    builder.add_edge(0, 1)
+    cores = core_decomposition(builder.build())
+    assert cores.tolist() == [1, 1, 0]
+
+
+def test_histogram(tiny):
+    hist = core_number_histogram(tiny)
+    assert hist == {1: 2, 2: 1, 3: 4}
+    assert sum(hist.values()) == tiny.n
+
+
+def test_complete_graph_cores():
+    from repro.graphs.builder import graph_from_edges
+
+    k5 = graph_from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+    assert core_decomposition(k5).tolist() == [4] * 5
+    assert kmax(k5) == 4

@@ -1,0 +1,87 @@
+"""Unit tests for the synthetic Aminer co-authorship generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.generators.aminer import (
+    FIELDS,
+    AminerMetadata,
+    AminerSpec,
+    generate_aminer,
+)
+from repro.graphs.validation import validate_graph
+
+
+@pytest.fixture(scope="module")
+def aminer():
+    return generate_aminer(AminerSpec(juniors_per_field=40, seed=11))
+
+
+def test_structure(aminer):
+    graph, meta = aminer
+    validate_graph(graph)
+    assert graph.n == len(meta.field_of)
+    assert len(meta.senior_groups) == 5 * 3  # groups_per_field default 3
+    assert set(meta.field_of) == set(FIELDS)
+
+
+def test_senior_groups_are_dense(aminer):
+    graph, meta = aminer
+    adj = graph.adjacency
+    for group in meta.senior_groups:
+        # Near-clique at p=0.9: each member co-authors with most of the group.
+        for v in group:
+            assert len(adj[v] & group) >= len(group) // 2
+
+
+def test_labels_are_names(aminer):
+    graph, __ = aminer
+    assert graph.labels is not None
+    assert len(set(graph.labels)) == graph.n  # all names unique
+    assert all(" " in name for name in graph.labels)
+
+
+def test_weight_kinds():
+    for kind in ("citations", "h", "g", "i10"):
+        graph, meta = generate_aminer(
+            AminerSpec(juniors_per_field=15, seed=12), weight_kind=kind
+        )
+        assert np.all(graph.weights >= 0)
+    with pytest.raises(DatasetError):
+        generate_aminer(AminerSpec(juniors_per_field=15, seed=12), weight_kind="x")
+
+
+def test_indices_are_consistent(aminer):
+    __, meta = aminer
+    # h <= g by definition; all indices non-negative integers.
+    assert np.all(meta.h_index <= meta.g_index)
+    assert np.all(meta.h_index >= 0)
+    assert np.all(meta.i10_index >= 0)
+    assert np.all(meta.citations >= 0)
+
+
+def test_seniors_outweigh_juniors(aminer):
+    graph, meta = aminer
+    senior = set().union(*meta.senior_groups)
+    senior_mean = np.mean([meta.citations[v] for v in senior])
+    junior_mean = np.mean(
+        [meta.citations[v] for v in range(graph.n) if v not in senior]
+    )
+    assert senior_mean > 3 * junior_mean
+
+
+def test_determinism():
+    a = generate_aminer(AminerSpec(juniors_per_field=15, seed=13))
+    b = generate_aminer(AminerSpec(juniors_per_field=15, seed=13))
+    assert sorted(a[0].edges()) == sorted(b[0].edges())
+    assert np.array_equal(a[0].weights, b[0].weights)
+
+
+def test_spec_validation():
+    with pytest.raises(DatasetError):
+        AminerSpec(juniors_per_field=2)
+    with pytest.raises(DatasetError):
+        AminerSpec(groups_per_field=0)
+    with pytest.raises(DatasetError):
+        AminerSpec(group_size=(3, 8))

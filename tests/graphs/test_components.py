@@ -1,0 +1,85 @@
+"""Unit tests for connectivity primitives, cross-checked with networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.builder import graph_from_edges
+from repro.graphs.components import (
+    bfs_order,
+    connected_components,
+    connected_components_of,
+    is_connected_subset,
+    shortest_hop_distances,
+)
+from tests.conftest import random_weighted_graph
+
+
+def _to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def test_components_of_disjoint_triangles(two_triangles):
+    comps = connected_components(two_triangles)
+    assert [sorted(c) for c in comps] == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_components_match_networkx():
+    for seed in range(5):
+        graph = random_weighted_graph(30, 0.06, seed=seed)
+        ours = {frozenset(c) for c in connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.connected_components(_to_nx(graph))}
+        assert ours == theirs
+
+
+def test_subset_components(figure1):
+    # Removing v6 (id 5) splits the 2-core into the {3,9,10} triangle and
+    # the rest (see the Figure 1 reconstruction notes).
+    subset = set(range(11)) - {5, 10}
+    comps = connected_components_of(figure1, subset)
+    assert {frozenset(c) for c in comps} == {
+        frozenset({2, 8, 9}),
+        frozenset({0, 1, 3, 4, 6, 7}),
+    }
+
+
+def test_is_connected_subset(figure1):
+    assert is_connected_subset(figure1, {0, 1, 3})
+    assert not is_connected_subset(figure1, {0, 8})  # v1 and v9 not adjacent
+    assert is_connected_subset(figure1, {4})  # singleton
+    assert not is_connected_subset(figure1, set())  # empty
+
+
+def test_bfs_order_deterministic(tiny):
+    order = bfs_order(tiny, 0)
+    assert order[0] == 0
+    assert order == bfs_order(tiny, 0)
+    assert set(order) == {0, 1, 2, 3, 4}  # pendant pair 5-6 unreachable
+
+
+def test_bfs_order_within_restriction(tiny):
+    order = bfs_order(tiny, 0, within={0, 1, 4})
+    assert set(order) == {0, 1, 4}
+
+
+def test_bfs_source_must_be_inside(tiny):
+    with pytest.raises(ValueError):
+        bfs_order(tiny, 0, within={1, 2})
+
+
+def test_hop_distances(path_graph):
+    dist = shortest_hop_distances(path_graph, 0)
+    assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_hop_distances_match_networkx():
+    graph = random_weighted_graph(25, 0.12, seed=3)
+    expected = dict(nx.single_source_shortest_path_length(_to_nx(graph), 0))
+    assert shortest_hop_distances(graph, 0) == expected
+
+
+def test_empty_like_subset():
+    graph = graph_from_edges([(0, 1)])
+    assert connected_components_of(graph, []) == []

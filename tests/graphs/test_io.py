@@ -1,0 +1,81 @@
+"""Unit tests for edge-list and weight-file IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, WeightError
+from repro.graphs.builder import graph_from_edges
+from repro.graphs.io import load_edge_list, load_weights, save_edge_list, save_weights
+
+
+def test_round_trip(tmp_path, figure1):
+    path = tmp_path / "graph.txt"
+    save_edge_list(figure1, path, header="figure 1")
+    loaded, id_map = load_edge_list(path)
+    assert loaded.n == figure1.n
+    assert loaded.m == figure1.m
+    # ids were already dense so the map should be a permutation of range(n)
+    assert sorted(id_map.values()) == list(range(figure1.n))
+
+
+def test_load_tolerates_snap_dialect(tmp_path):
+    path = tmp_path / "snap.txt"
+    path.write_text(
+        "# comment line\n"
+        "10 20\n"
+        "20 10\n"      # mirrored duplicate
+        "10 10\n"      # self-loop: dropped
+        "\n"
+        "20 30\n"
+    )
+    graph, id_map = load_edge_list(path)
+    assert graph.n == 3
+    assert graph.m == 2
+    assert set(id_map) == {10, 20, 30}
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+    path.write_text("a b\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+
+
+def test_weight_round_trip(tmp_path):
+    path = tmp_path / "weights.txt"
+    weights = [0.5, 1.25, 3.0]
+    save_weights(weights, path)
+    loaded = load_weights(path, 3)
+    assert np.allclose(loaded, weights)
+
+
+def test_weight_defaults_and_validation(tmp_path):
+    path = tmp_path / "w.txt"
+    path.write_text("0 1.5\n")
+    loaded = load_weights(path, 3)
+    assert loaded.tolist() == [1.5, 0.0, 0.0]
+
+    path.write_text("9 1.0\n")
+    with pytest.raises(WeightError):
+        load_weights(path, 3)
+
+    path.write_text("0 -2\n")
+    with pytest.raises(WeightError):
+        load_weights(path, 3)
+
+    path.write_text("0 1 2\n")
+    with pytest.raises(WeightError):
+        load_weights(path, 3)
+
+
+def test_save_writes_each_edge_once(tmp_path):
+    graph = graph_from_edges([(0, 1), (1, 2)])
+    path = tmp_path / "g.txt"
+    save_edge_list(graph, path)
+    data_lines = [
+        line for line in path.read_text().splitlines() if not line.startswith("#")
+    ]
+    assert len(data_lines) == 2

@@ -1,0 +1,62 @@
+"""Unit tests for induced-subgraph helpers."""
+
+import pytest
+
+from repro.errors import VertexError
+from repro.graphs.views import (
+    induced_degrees,
+    induced_edge_count,
+    induced_subgraph,
+    min_induced_degree,
+)
+
+
+def test_induced_subgraph_structure(tiny):
+    sub, mapping = induced_subgraph(tiny, [0, 1, 2, 3])
+    assert sub.n == 4
+    assert sub.m == 6  # K4
+    assert mapping == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert sub.weight(3) == 4.0
+
+
+def test_induced_subgraph_remaps_ids(tiny):
+    sub, mapping = induced_subgraph(tiny, [5, 6])
+    assert sub.n == 2
+    assert sub.m == 1
+    assert mapping == {5: 0, 6: 1}
+    assert sub.weight(0) == 6.0  # original vertex 5
+
+
+def test_induced_subgraph_keeps_labels(figure1):
+    sub, mapping = induced_subgraph(figure1, [0, 1, 3])
+    assert sub.labels == ["v1", "v2", "v4"]
+
+
+def test_induced_degrees(tiny):
+    degrees = induced_degrees(tiny, {0, 1, 2, 3})
+    assert degrees == {0: 3, 1: 3, 2: 3, 3: 3}
+    partial = induced_degrees(tiny, {0, 4, 5})
+    assert partial == {0: 1, 4: 1, 5: 0}
+
+
+def test_induced_edge_count(tiny):
+    assert induced_edge_count(tiny, {0, 1, 2, 3}) == 6
+    assert induced_edge_count(tiny, {5, 6}) == 1
+    assert induced_edge_count(tiny, {0}) == 0
+
+
+def test_min_induced_degree(tiny):
+    assert min_induced_degree(tiny, {0, 1, 2, 3}) == 3
+    assert min_induced_degree(tiny, {0, 1, 4}) == 2
+    assert min_induced_degree(tiny, {0, 5}) == 0
+    assert min_induced_degree(tiny, set()) == 0
+
+
+def test_vertex_validation(tiny):
+    with pytest.raises(VertexError):
+        induced_subgraph(tiny, [99])
+
+
+def test_duplicates_collapse(tiny):
+    sub, __ = induced_subgraph(tiny, [0, 0, 1, 1])
+    assert sub.n == 2

@@ -1,0 +1,106 @@
+"""Unit tests for the exhaustive oracle itself (validated by hand)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs.builder import GraphBuilder, graph_from_edges
+from repro.influential.bruteforce import (
+    bruteforce_communities,
+    bruteforce_top_r,
+    bruteforce_top_r_nonoverlapping,
+    enumerate_connected_kcores,
+    enumerate_connected_subgraphs,
+    is_maximal_community,
+)
+
+
+def test_enumeration_counts_on_triangle(triangle):
+    subs = list(enumerate_connected_subgraphs(triangle))
+    # 3 singletons + 3 edges + 1 triangle = 7 connected induced subgraphs.
+    assert len(subs) == 7
+    assert len(set(subs)) == 7  # each exactly once
+
+
+def test_enumeration_respects_max_size(triangle):
+    subs = list(enumerate_connected_subgraphs(triangle, max_size=2))
+    assert len(subs) == 6
+    assert all(len(s) <= 2 for s in subs)
+
+
+def test_enumeration_matches_exhaustive_subset_check():
+    # Independent verification on a random 8-vertex graph: compare against
+    # the 2^8 subset filter.
+    from tests.conftest import random_weighted_graph
+    from repro.graphs.components import is_connected_subset
+
+    graph = random_weighted_graph(8, 0.4, seed=5)
+    expected = set()
+    for size in range(1, 9):
+        for combo in itertools.combinations(range(8), size):
+            if is_connected_subset(graph, combo):
+                expected.add(frozenset(combo))
+    actual = set(enumerate_connected_subgraphs(graph))
+    assert actual == expected
+
+
+def test_connected_kcores(tiny):
+    cores = enumerate_connected_kcores(tiny, 3)
+    assert cores == [frozenset({0, 1, 2, 3})]
+    cores2 = set(enumerate_connected_kcores(tiny, 2))
+    # 2-cores: K4, its triangles, and K4+pendant-supported sets with v4.
+    assert frozenset({0, 1, 2, 3}) in cores2
+    assert frozenset({0, 1, 4}) in cores2
+    assert all(len(c) >= 3 for c in cores2)
+
+
+def test_maximality_filter_under_min(two_triangles):
+    # Under min, each triangle is maximal (no superset is connected).
+    assert is_maximal_community(two_triangles, frozenset({0, 1, 2}), 2, _min())
+    communities = bruteforce_communities(two_triangles, 2, "min")
+    assert [sorted(c.vertices) for c in communities] == [[3, 4, 5], [0, 1, 2]]
+
+
+def _min():
+    from repro.aggregators.minmax import Minimum
+
+    return Minimum()
+
+
+def test_maximality_excludes_subsets_under_max(tiny):
+    # Under max, the triangle {1,2,3} has the same max (4.0) as K4 — so it
+    # is not maximal; only K4 survives for that value.
+    communities = bruteforce_communities(tiny, 2, "max")
+    vertex_sets = [c.vertices for c in communities]
+    assert frozenset({1, 2, 3}) not in vertex_sets
+    assert frozenset({0, 1, 2, 3, 4}) in vertex_sets  # max community, value 5
+
+
+def test_size_filter(figure1):
+    constrained = bruteforce_top_r(
+        figure1, 2, 20, "sum", s=4, require_maximal=False
+    )
+    assert all(c.size <= 4 for c in constrained)
+    # Example 1: {v3, v6, v9, v10} (ids 2,5,8,9) is a valid size-4 community
+    # with influence value 40.
+    members = {frozenset(c.vertices): c.value for c in constrained}
+    assert members[frozenset({2, 5, 8, 9})] == 40.0
+
+
+def test_nonoverlapping_oracle(two_triangles):
+    result = bruteforce_top_r_nonoverlapping(two_triangles, 2, 2, "sum")
+    assert result.is_pairwise_disjoint()
+    assert result.values() == [60.0, 6.0]
+
+
+def test_size_guard():
+    builder = GraphBuilder(30)
+    with pytest.raises(SolverError):
+        list(enumerate_connected_subgraphs(builder.build()))
+
+
+def test_single_vertex_graph():
+    graph = graph_from_edges([], n=1)
+    assert list(enumerate_connected_subgraphs(graph)) == [frozenset({0})]
+    assert enumerate_connected_kcores(graph, 1) == []

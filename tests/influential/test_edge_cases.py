@@ -1,0 +1,121 @@
+"""Edge cases and documented caveats across the solver suite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import graph_from_edges
+from repro.influential.api import top_r_communities
+from repro.influential.bruteforce import bruteforce_top_r
+from repro.influential.improved import tic_improved
+from repro.influential.naive_sum import sum_naive
+
+
+def _k4_plus_tail(weights):
+    """K4 on 0-3 with a 2-path tail 3-4-5 wired back to 2 (one 2-core)."""
+    return graph_from_edges(
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 2)],
+        weights=weights,
+    )
+
+
+class TestZeroWeights:
+    """Corollary 2 needs *non-negative* weights; zero-weight vertices make
+    removals value-preserving, so top-r by value still works but multiple
+    same-value communities appear — the solvers must stay consistent."""
+
+    def test_sum_with_zero_weight_vertices(self):
+        """Documented caveat: with zero-weight vertices, removal is no
+        longer *strictly* decreasing, so nested communities can tie on
+        value.  Definition 3's maximality merges such ties (the oracle
+        drops the non-maximal K4 whose superset has the same sum 14);
+        Algorithm 2 enumerates both.  The top value always agrees, and
+        every reported set is a valid connected k-core."""
+        graph = _k4_plus_tail([5.0, 4.0, 3.0, 2.0, 0.0, 0.0])
+        exact = bruteforce_top_r(graph, 2, 3, "sum")
+        ours = tic_improved(graph, 2, 3)
+        assert ours.values()[0] == exact.values()[0] == 14.0
+        # The oracle's (maximal) answers all appear among the candidates
+        # Algorithm 2 could enumerate at equal-or-better value.
+        for value in exact.values():
+            assert any(v >= value for v in ours.values())
+        from repro.hardness.certificates import certify_result_set
+
+        certify_result_set(graph, ours, k=2)
+
+    def test_all_zero_weights(self):
+        graph = _k4_plus_tail([0.0] * 6)
+        result = tic_improved(graph, 2, 2)
+        assert result.values() == [0.0, 0.0]
+
+    def test_naive_agrees_on_zero_weights(self):
+        graph = _k4_plus_tail([1.0, 0.0, 2.0, 0.0, 3.0, 0.0])
+        assert sum_naive(graph, 2, 4).values() == pytest.approx(
+            tic_improved(graph, 2, 4).values()
+        )
+
+
+class TestUniformWeights:
+    def test_sum_reduces_to_size(self):
+        graph = _k4_plus_tail([1.0] * 6)
+        result = tic_improved(graph, 2, 2)
+        # Top-1 is the whole 2-core (6 vertices), value 6.
+        assert result.values()[0] == 6.0
+
+    def test_min_max_coincide(self):
+        graph = _k4_plus_tail([3.0] * 6)
+        top_min = top_r_communities(graph, k=2, r=1, f="min")
+        top_max = top_r_communities(graph, k=2, r=1, f="max")
+        assert top_min.values() == top_max.values() == [3.0]
+
+
+class TestDegenerateShapes:
+    def test_r_one(self, figure1):
+        assert len(top_r_communities(figure1, k=2, r=1, f="sum")) == 1
+
+    def test_k_equals_max_core(self, tiny):
+        # kmax(tiny) = 3; k = 3 yields exactly the K4.
+        result = top_r_communities(tiny, k=3, r=5, f="sum")
+        assert len(result) == 1
+        assert result[0].vertices == frozenset({0, 1, 2, 3})
+
+    def test_k_above_max_core(self, tiny):
+        assert len(top_r_communities(tiny, k=4, r=5, f="sum")) == 0
+
+    def test_complete_graph_all_aggregators(self):
+        k6 = graph_from_edges(
+            [(i, j) for i in range(6) for j in range(i + 1, 6)],
+            weights=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        for f in ("sum", "min", "max"):
+            result = top_r_communities(k6, k=3, r=1, f=f)
+            assert len(result) == 1
+
+    def test_two_vertex_components_never_qualify(self):
+        graph = graph_from_edges([(0, 1)], weights=[9.0, 9.0])
+        assert len(top_r_communities(graph, k=1, r=2, f="sum")) == 1
+        # k=1: the edge itself is a 1-core community.
+
+
+class TestLargeRSaturation:
+    def test_r_exceeding_family_size(self, two_triangles):
+        for f in ("sum", "min", "max"):
+            result = top_r_communities(two_triangles, k=2, r=99, f=f)
+            assert 1 <= len(result) <= 4
+
+
+class TestFloatStability:
+    def test_incremental_values_match_recompute_after_deep_peeling(self):
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0.001, 1000.0, size=12).round(6).tolist()
+        graph = graph_from_edges(
+            [(i, j) for i in range(12) for j in range(i + 1, 12)
+             if (i + j) % 3 != 0],
+            weights=weights,
+        )
+        from repro.aggregators.summation import Sum
+        from repro.hardness.certificates import certify_result_set
+
+        result = tic_improved(graph, 2, 6, Sum())
+        # The certifier recomputes every value from scratch and tolerates
+        # only 1e-9 relative drift: incremental arithmetic must hold up.
+        certify_result_set(graph, result, k=2)

@@ -1,0 +1,57 @@
+"""Algorithm 3 (TIC-EXACT) against the brute-force candidate space."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs.builder import GraphBuilder
+from repro.influential.bruteforce import bruteforce_top_r
+from repro.influential.exact import tic_exact
+from tests.conftest import random_weighted_graph
+
+
+def test_figure1_size4_sum(figure1):
+    result = tic_exact(figure1, k=2, r=10, s=4, f="sum")
+    assert all(c.size <= 4 for c in result)
+    # Example 1's size-constrained community {v3,v6,v9,v10} with value 40.
+    values = {frozenset(c.vertices): c.value for c in result}
+    assert values[frozenset({2, 5, 8, 9})] == 40.0
+
+
+def test_matches_bruteforce_candidate_space(small_random_graphs):
+    for graph in small_random_graphs:
+        for k, s in [(1, 3), (2, 4), (2, 6), (3, 5)]:
+            ours = tic_exact(graph, k, 5, s, "sum")
+            oracle = bruteforce_top_r(graph, k, 5, "sum", s=s, require_maximal=False)
+            assert ours.values() == pytest.approx(oracle.values())
+
+
+def test_works_for_avg(small_random_graphs):
+    graph = small_random_graphs[0]
+    ours = tic_exact(graph, 2, 3, 5, "avg")
+    oracle = bruteforce_top_r(graph, 2, 3, "avg", s=5, require_maximal=False)
+    assert ours.values() == pytest.approx(oracle.values())
+
+
+def test_works_for_min_max(small_random_graphs):
+    graph = small_random_graphs[1]
+    for f in ("min", "max"):
+        ours = tic_exact(graph, 2, 4, 6, f)
+        oracle = bruteforce_top_r(graph, 2, 4, f, s=6, require_maximal=False)
+        assert ours.values() == pytest.approx(oracle.values())
+
+
+def test_size_guard():
+    graph = GraphBuilder(30).build()
+    with pytest.raises(SolverError):
+        tic_exact(graph, 2, 1, 5, "sum")
+
+
+def test_parameter_validation(figure1):
+    with pytest.raises(SolverError):
+        tic_exact(figure1, 2, 1, s=2, f="sum")  # s < k+1
+    with pytest.raises(SolverError):
+        tic_exact(figure1, 0, 1, s=4, f="sum")
+
+
+def test_empty_when_no_kcore_fits(path_graph):
+    assert len(tic_exact(path_graph, 2, 3, 4, "sum")) == 0

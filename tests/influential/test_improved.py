@@ -1,0 +1,89 @@
+"""Algorithm 2 (TIC-IMPROVED) — exactness at eps=0, Theorem 6 at eps>0."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.hardness.certificates import certify_result_set
+from repro.influential.bruteforce import bruteforce_top_r
+from repro.influential.improved import peel_below_average, tic_improved
+from tests.conftest import random_weighted_graph
+
+
+def test_figure1_example1(figure1):
+    result = tic_improved(figure1, k=2, r=2)
+    assert result.values() == [203.0, 195.0]
+
+
+def test_exact_matches_bruteforce(small_random_graphs):
+    for graph in small_random_graphs:
+        for k in (1, 2, 3):
+            for r in (1, 2, 5):
+                ours = tic_improved(graph, k, r, eps=0.0)
+                oracle = bruteforce_top_r(graph, k, r, "sum")
+                assert ours.values() == pytest.approx(oracle.values()), (
+                    graph.n, k, r
+                )
+
+
+def test_theorem6_guarantee(small_random_graphs):
+    """Definition 8: the r-th approx value >= (1 - eps) * exact r-th value."""
+    for graph in small_random_graphs:
+        for eps in (0.01, 0.1, 0.3, 0.6):
+            for r in (1, 3, 5):
+                exact = bruteforce_top_r(graph, 2, r, "sum")
+                approx = tic_improved(graph, 2, r, eps=eps)
+                if len(exact) == 0:
+                    continue
+                assert len(approx) >= len(exact)
+                exact_rth = exact.rth_value(len(exact))
+                approx_rth = approx.rth_value(len(exact))
+                assert approx_rth >= (1 - eps) * exact_rth - 1e-12
+
+
+def test_agrees_with_naive(figure1):
+    from repro.influential.naive_sum import sum_naive
+
+    for r in (1, 2, 3, 5, 8):
+        assert tic_improved(figure1, 2, r).values() == pytest.approx(
+            sum_naive(figure1, 2, r).values()
+        )
+
+
+def test_outputs_certify(figure1):
+    certify_result_set(figure1, tic_improved(figure1, k=2, r=5), k=2)
+
+
+def test_sum_surplus(figure1):
+    result = tic_improved(figure1, k=2, r=2, f="sum-surplus(alpha=2)")
+    assert result.values()[0] == 203.0 + 2 * 11
+
+
+def test_rejects_non_peelable(figure1):
+    with pytest.raises(SolverError):
+        tic_improved(figure1, k=2, r=1, f="avg")
+    with pytest.raises(SolverError):
+        tic_improved(figure1, k=2, r=1, f="min")
+
+
+def test_eps_validation(figure1):
+    with pytest.raises(SolverError):
+        tic_improved(figure1, k=2, r=1, eps=1.0)
+    with pytest.raises(SolverError):
+        tic_improved(figure1, k=2, r=1, eps=-0.1)
+
+
+def test_empty_core(path_graph):
+    assert len(tic_improved(path_graph, k=2, r=3)) == 0
+
+
+def test_r_larger_than_community_count(two_triangles):
+    # Asking for more communities than exist returns what exists.
+    result = tic_improved(two_triangles, k=2, r=50)
+    assert len(result) == 2  # only the two triangles (no proper sub-2-cores)
+
+
+def test_peel_below_average_extension(figure1):
+    result = peel_below_average(figure1, k=2, r=3)
+    assert len(result) >= 1
+    # Values must be valid averages of real communities.
+    certify_result_set(figure1, result, k=2)

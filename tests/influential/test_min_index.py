@@ -1,0 +1,78 @@
+"""The laminar min-community index against the direct solvers."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.influential.min_index import MinCommunityIndex
+from repro.influential.minmax_solvers import (
+    min_communities,
+    top_r_min,
+    top_r_min_noncontained,
+)
+from repro.influential.nonoverlap import greedy_disjoint
+from tests.conftest import random_weighted_graph
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    graph = random_weighted_graph(40, 0.15, seed=21)
+    return graph, MinCommunityIndex(graph, 2)
+
+
+def test_indexes_full_family(indexed):
+    graph, index = indexed
+    family = min_communities(graph, 2)
+    assert len(index) == len(family)
+    assert {c.vertices for c in index.communities} == {
+        c.vertices for c in family
+    }
+
+
+def test_top_r_matches_solver(indexed):
+    graph, index = indexed
+    for r in (1, 2, 5, 10):
+        assert index.top_r(r).values() == top_r_min(graph, 2, r).values()
+
+
+def test_noncontained_matches_solver(indexed):
+    graph, index = indexed
+    assert (
+        index.top_r_noncontained(3).values()
+        == top_r_min_noncontained(graph, 2, 3).values()
+    )
+
+
+def test_nonoverlapping_matches_greedy(indexed):
+    graph, index = indexed
+    expected = greedy_disjoint(min_communities(graph, 2), 3)
+    assert index.top_r_nonoverlapping(3).values() == expected.values()
+
+
+def test_community_of_vertex(figure1):
+    index = MinCommunityIndex(figure1, 2)
+    # v8 (id 7) belongs to {v5,v7,v8}, the deepest community holding it.
+    community = index.community_of(7)
+    assert community is not None
+    assert community.vertices == frozenset({4, 6, 7})
+    # A vertex outside the k-core has no community.
+    from repro.graphs.generators.examples import tiny_kcore_graph
+
+    tiny_index = MinCommunityIndex(tiny_kcore_graph(), 2)
+    assert tiny_index.community_of(5) is None
+
+
+def test_chain_is_nested_and_value_sorted(indexed):
+    graph, index = indexed
+    for vertex in range(graph.n):
+        chain = index.chain_of(vertex)
+        for deeper, shallower in zip(chain, chain[1:]):
+            assert deeper.vertices < shallower.vertices
+            assert deeper.value >= shallower.value
+
+
+def test_r_validation(indexed):
+    __, index = indexed
+    with pytest.raises(SolverError):
+        index.top_r(0)
+    with pytest.raises(SolverError):
+        MinCommunityIndex(index.graph, 0)

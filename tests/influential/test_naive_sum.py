@@ -1,0 +1,70 @@
+"""Algorithm 1 (SUM-NAIVE) against the brute-force oracle."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.hardness.certificates import certify_result_set
+from repro.influential.bruteforce import bruteforce_top_r
+from repro.influential.naive_sum import sum_naive
+from tests.conftest import random_weighted_graph
+
+
+def test_figure1_example1(figure1):
+    result = sum_naive(figure1, k=2, r=2)
+    assert result.values() == [203.0, 195.0]
+    assert result[0].vertices == frozenset(range(11))
+    assert result[1].vertices == frozenset(range(11)) - {2}  # minus v3
+
+
+def test_matches_bruteforce_on_random_graphs(small_random_graphs):
+    for graph in small_random_graphs:
+        for k in (1, 2, 3):
+            for r in (1, 3, 5):
+                ours = sum_naive(graph, k, r)
+                oracle = bruteforce_top_r(graph, k, r, "sum")
+                assert ours.values() == pytest.approx(oracle.values()), (
+                    graph.n, k, r
+                )
+
+
+def test_outputs_certify(figure1):
+    result = sum_naive(figure1, k=2, r=4)
+    certify_result_set(figure1, result, k=2)
+
+
+def test_disjoint_components(two_triangles):
+    result = sum_naive(two_triangles, k=2, r=2)
+    assert result.values() == [60.0, 6.0]
+
+
+def test_sum_surplus_supported(figure1):
+    result = sum_naive(figure1, k=2, r=1, f="sum-surplus(alpha=1)")
+    assert result.values() == [203.0 + 11.0]
+
+
+def test_avg_rejected(figure1):
+    with pytest.raises(SolverError):
+        sum_naive(figure1, k=2, r=1, f="avg")
+
+
+def test_min_rejected(figure1):
+    with pytest.raises(SolverError):
+        sum_naive(figure1, k=2, r=1, f="min")
+
+
+def test_invalid_parameters(figure1):
+    with pytest.raises(SolverError):
+        sum_naive(figure1, k=0, r=1)
+    with pytest.raises(SolverError):
+        sum_naive(figure1, k=2, r=0)
+
+
+def test_empty_core_returns_nothing(path_graph):
+    assert len(sum_naive(path_graph, k=2, r=3)) == 0
+
+
+def test_max_sweeps_caps_work(figure1):
+    # One sweep is already enough to find the top-2 here, but the cap must
+    # be honoured without error.
+    result = sum_naive(figure1, k=2, r=2, max_sweeps=1)
+    assert len(result) == 2

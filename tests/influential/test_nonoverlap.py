@@ -1,0 +1,86 @@
+"""TONIC (non-overlapping) wrappers."""
+
+import pytest
+
+from repro.aggregators.summation import Sum
+from repro.errors import SolverError
+from repro.influential.bruteforce import bruteforce_top_r_nonoverlapping
+from repro.influential.community import Community, community_from_vertices
+from repro.influential.minmax_solvers import min_communities
+from repro.influential.nonoverlap import (
+    greedy_disjoint,
+    tonic_extract,
+    tonic_sum_unconstrained,
+)
+from repro.utils.topr import TopR
+
+
+def _c(vertices, value):
+    return Community(frozenset(vertices), value, "sum", 2)
+
+
+def test_greedy_disjoint_selection():
+    communities = [_c({1, 2}, 10.0), _c({2, 3}, 9.0), _c({4}, 8.0), _c({5}, 1.0)]
+    result = greedy_disjoint(communities, r=3)
+    assert result.values() == [10.0, 8.0, 1.0]  # {2,3} skipped (overlaps)
+    assert result.is_pairwise_disjoint()
+
+
+def test_greedy_disjoint_r_validated():
+    with pytest.raises(SolverError):
+        greedy_disjoint([], r=0)
+
+
+def test_tonic_sum_components(two_triangles):
+    result = tonic_sum_unconstrained(two_triangles, 2, 2)
+    assert result.values() == [60.0, 6.0]
+    assert result.is_pairwise_disjoint()
+
+
+def test_tonic_sum_figure1(figure1):
+    # The whole 2-core is one component, so TONIC top-r under sum is just
+    # that single community.
+    result = tonic_sum_unconstrained(figure1, 2, 3)
+    assert len(result) == 1
+    assert result.values() == [203.0]
+
+
+def test_tonic_sum_rejects_non_proportional(figure1):
+    with pytest.raises(SolverError):
+        tonic_sum_unconstrained(figure1, 2, 3, "avg")
+
+
+def test_min_greedy_disjoint_matches_oracle(figure1):
+    family = min_communities(figure1, 2)
+    ours = greedy_disjoint(family, 3)
+    oracle = bruteforce_top_r_nonoverlapping(figure1, 2, 3, "min")
+    assert ours.values() == oracle.values()
+
+
+def test_tonic_extract_generic(two_triangles):
+    def top1(graph, alive):
+        if not alive:
+            return None
+        from repro.graphs.components import connected_components_of
+
+        comps = connected_components_of(graph, alive)
+        best = max(comps, key=lambda c: graph.weight_of(c))
+        return community_from_vertices(graph, best, Sum(), 2)
+
+    result = tonic_extract(two_triangles, 2, 5, top1)
+    assert result.values() == [60.0, 6.0]
+    assert result.is_pairwise_disjoint()
+
+
+def test_tonic_extract_rejects_stray_solver(tiny):
+    def bad_top1(graph, alive):
+        # Vertices 5, 6 are outside the 2-core, hence outside `alive`.
+        return community_from_vertices(graph, {5, 6}, Sum(), 2)
+
+    with pytest.raises(SolverError):
+        tonic_extract(tiny, 2, 5, bad_top1)
+
+
+def test_tonic_extract_parameter_validation(two_triangles):
+    with pytest.raises(SolverError):
+        tonic_extract(two_triangles, 0, 1, lambda g, a: None)

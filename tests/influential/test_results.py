@@ -1,0 +1,48 @@
+"""Unit tests for ResultSet."""
+
+from repro.influential.community import Community
+from repro.influential.results import ResultSet
+
+
+def _c(vertices, value):
+    return Community(frozenset(vertices), value, "sum", 2)
+
+
+def test_sorted_best_first():
+    rs = ResultSet([_c({1}, 1.0), _c({2}, 3.0), _c({3}, 2.0)])
+    assert rs.values() == [3.0, 2.0, 1.0]
+    assert rs[0].value == 3.0
+
+
+def test_rth_value():
+    rs = ResultSet([_c({1}, 5.0), _c({2}, 3.0)])
+    assert rs.rth_value(1) == 5.0
+    assert rs.rth_value(2) == 3.0
+    assert rs.rth_value() == 3.0  # default: last
+    assert rs.rth_value(5) == float("-inf")  # not enough communities
+
+
+def test_disjointness_check():
+    disjoint = ResultSet([_c({1, 2}, 2.0), _c({3}, 1.0)])
+    overlapping = ResultSet([_c({1, 2}, 2.0), _c({2, 3}, 1.0)])
+    assert disjoint.is_pairwise_disjoint()
+    assert not overlapping.is_pairwise_disjoint()
+
+
+def test_sequence_protocol():
+    rs = ResultSet([_c({1}, 1.0)])
+    assert len(rs) == 1
+    assert list(rs) == [rs[0]]
+    assert rs == ResultSet([_c({1}, 1.0)])
+    assert hash(rs) == hash(ResultSet([_c({1}, 1.0)]))
+
+
+def test_vertex_sets():
+    rs = ResultSet([_c({1, 2}, 2.0), _c({3}, 1.0)])
+    assert rs.vertex_sets() == [frozenset({1, 2}), frozenset({3})]
+
+
+def test_describe_empty_and_nonempty():
+    assert "no communities" in ResultSet([]).describe()
+    text = ResultSet([_c({1}, 1.0)]).describe()
+    assert text.startswith("#1:")

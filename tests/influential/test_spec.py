@@ -1,0 +1,56 @@
+"""Unit tests for ProblemSpec."""
+
+import pytest
+
+from repro.aggregators.average import Average
+from repro.aggregators.summation import Sum
+from repro.errors import SpecError
+from repro.influential.spec import ProblemSpec
+
+
+def test_create_resolves_names():
+    spec = ProblemSpec.create(k=2, r=5, f="avg")
+    assert isinstance(spec.f, Average)
+    assert not spec.size_constrained
+
+
+def test_validation():
+    with pytest.raises(SpecError):
+        ProblemSpec(k=0, r=1, f=Sum())
+    with pytest.raises(SpecError):
+        ProblemSpec(k=2, r=0, f=Sum())
+    with pytest.raises(SpecError):
+        ProblemSpec(k=3, r=1, f=Sum(), s=3)  # k-core needs k+1 vertices
+    with pytest.raises(SpecError):
+        ProblemSpec(k=2, r=1, f="sum")  # type: ignore[arg-type]
+
+
+def test_hardness_classification():
+    assert not ProblemSpec.create(2, 5, "sum").is_np_hard
+    assert ProblemSpec.create(2, 5, "avg").is_np_hard          # Theorem 1
+    assert ProblemSpec.create(2, 5, "sum", s=10).is_np_hard    # Theorem 4
+    assert ProblemSpec.create(2, 5, "min", s=10).is_np_hard
+    assert not ProblemSpec.create(2, 5, "min").is_np_hard
+
+
+def test_effective_size_bound(figure1):
+    unconstrained = ProblemSpec.create(2, 5, "sum")
+    assert unconstrained.effective_size_bound(figure1) == figure1.n
+    constrained = ProblemSpec.create(2, 5, "sum", s=4)
+    assert constrained.effective_size_bound(figure1) == 4
+
+
+def test_validate_for_graph(figure1):
+    ProblemSpec.create(2, 5, "sum").validate_for(figure1)
+    with pytest.raises(SpecError):
+        ProblemSpec.create(11, 1, "sum").validate_for(figure1)
+    with pytest.raises(SpecError):
+        ProblemSpec.create(2, 1, "sum", s=99).validate_for(figure1)
+
+
+def test_with_changes():
+    spec = ProblemSpec.create(2, 5, "sum")
+    changed = spec.with_(r=10)
+    assert changed.r == 10
+    assert changed.k == 2
+    assert spec.r == 5  # original untouched

@@ -1,0 +1,91 @@
+"""CLI integration tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_search_on_dataset(capsys):
+    code = main(["search", "--dataset", "domainpub", "--k", "4", "--r", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "top-3 communities" in out
+    assert "#1:" in out
+
+
+def test_search_size_constrained_tonic(capsys):
+    code = main(
+        [
+            "search", "--dataset", "domainpub", "--k", "4", "--r", "2",
+            "--f", "avg", "--s", "10", "--tonic", "--random-strategy",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "non-overlapping" in out
+
+
+def test_search_from_files(tmp_path, capsys, figure1):
+    from repro.graphs.io import save_edge_list, save_weights
+
+    edges = tmp_path / "g.txt"
+    weights = tmp_path / "w.txt"
+    save_edge_list(figure1, edges)
+    save_weights(figure1.weights, weights)
+    code = main(
+        [
+            "search", "--edges", str(edges), "--weights", str(weights),
+            "--k", "2", "--r", "2", "--f", "sum",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sum=203" in out
+
+
+def test_search_error_reported(capsys):
+    code = main(["search", "--dataset", "nope", "--k", "4"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "friendster" in out
+
+
+def test_bench_quick(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    code = main(["bench", "--exp", "table3", "--quick", "--out", str(out_file)])
+    assert code == 0
+    assert out_file.exists()
+    assert "EXPERIMENTS" in out_file.read_text()
+
+
+def test_bench_unknown_exp(capsys):
+    assert main(["bench", "--exp", "fig99"]) == 2
+
+
+def test_casestudy(capsys):
+    assert main(["casestudy"]) == 0
+    out = capsys.readouterr().out
+    assert "[avg]" in out
+
+
+def test_parser_help_lists_subcommands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for sub in ("search", "datasets", "bench", "casestudy"):
+        assert sub in help_text

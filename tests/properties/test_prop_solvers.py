@@ -1,0 +1,120 @@
+"""Property-based tests pinning the solvers to the brute-force oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builder import graph_from_edges
+from repro.hardness.certificates import certify_result_set
+from repro.influential.bruteforce import bruteforce_communities, bruteforce_top_r
+from repro.influential.improved import tic_improved
+from repro.influential.local_search import local_search
+from repro.influential.minmax_solvers import max_communities, min_communities
+from repro.influential.naive_sum import sum_naive
+
+
+@st.composite
+def weighted_graphs(draw, max_n=11):
+    n = draw(st.integers(3, max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, min_size=2, max_size=30)
+    )
+    weights = draw(st.lists(st.floats(0.1, 20.0), min_size=n, max_size=n))
+    return graph_from_edges(edges, weights=[round(w, 2) for w in weights], n=n)
+
+
+@given(weighted_graphs(), st.integers(1, 3), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_improved_exact_matches_oracle(graph, k, r):
+    ours = tic_improved(graph, k, r, eps=0.0)
+    oracle = bruteforce_top_r(graph, k, r, "sum")
+    assert np.allclose(ours.values(), oracle.values())
+
+
+@given(weighted_graphs(), st.integers(1, 3), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_naive_matches_oracle(graph, k, r):
+    ours = sum_naive(graph, k, r)
+    oracle = bruteforce_top_r(graph, k, r, "sum")
+    assert np.allclose(ours.values(), oracle.values())
+
+
+@given(
+    weighted_graphs(),
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.sampled_from([0.05, 0.2, 0.5]),
+)
+@settings(max_examples=40, deadline=None)
+def test_theorem6_bound_holds(graph, k, r, eps):
+    exact = bruteforce_top_r(graph, k, r, "sum")
+    approx = tic_improved(graph, k, r, eps=eps)
+    if not len(exact):
+        return
+    assert len(approx) >= len(exact)
+    got = approx.rth_value(len(exact))
+    want = exact.rth_value(len(exact))
+    assert got >= (1 - eps) * want - 1e-9
+
+
+@given(weighted_graphs(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_min_solver_matches_oracle_family(graph, k):
+    ours = {(c.vertices, c.value) for c in min_communities(graph, k)}
+    oracle = {
+        (c.vertices, c.value) for c in bruteforce_communities(graph, k, "min")
+    }
+    assert ours == oracle
+
+
+@given(weighted_graphs(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_max_solver_matches_oracle_family(graph, k):
+    ours = {(c.vertices, c.value) for c in max_communities(graph, k)}
+    oracle = {
+        (c.vertices, c.value) for c in bruteforce_communities(graph, k, "max")
+    }
+    assert ours == oracle
+
+
+@given(
+    weighted_graphs(),
+    st.integers(1, 3),
+    st.sampled_from(["sum", "avg"]),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_local_search_outputs_always_certify(graph, k, f, greedy):
+    s = k + 2
+    if s > graph.n:
+        return
+    result = local_search(graph, k, 3, s, f, greedy=greedy)
+    certify_result_set(graph, result, k=k, s=s)
+
+
+@given(weighted_graphs(), st.integers(1, 3), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_tonic_local_search_disjoint(graph, k, greedy):
+    s = k + 2
+    if s > graph.n:
+        return
+    result = local_search(
+        graph, k, 3, s, "avg", greedy=greedy, non_overlapping=True
+    )
+    assert result.is_pairwise_disjoint()
+    certify_result_set(graph, result, k=k, s=s, non_overlapping=True)
+
+
+@given(weighted_graphs(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_local_search_never_beats_exact(graph, k):
+    """The heuristic is an under-approximation: its best value can never
+    exceed the exhaustive optimum."""
+    s = k + 2
+    if s > graph.n:
+        return
+    heuristic = local_search(graph, k, 1, s, "sum", greedy=True)
+    exact = bruteforce_top_r(graph, k, 1, "sum", s=s, require_maximal=False)
+    if len(heuristic) and len(exact):
+        assert heuristic.values()[0] <= exact.values()[0] + 1e-9

@@ -1,0 +1,85 @@
+"""Property-based tests for the k-truss substrate and search."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kcore import maximal_kcore
+from repro.graphs.builder import graph_from_edges
+from repro.influential.truss_search import truss_min_communities
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.ktruss import ktruss_of_subset, maximal_ktruss
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(3, 12))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, min_size=2, max_size=30)
+    )
+    weights = draw(st.lists(st.floats(0.1, 20.0), min_size=n, max_size=n))
+    return graph_from_edges(edges, weights=[round(w, 2) for w in weights], n=n)
+
+
+def _edge_support_within(graph, vertices, u, v):
+    adj = graph.adjacency
+    return len(adj[u] & adj[v] & vertices)
+
+
+@given(small_graphs(), st.integers(2, 5))
+@settings(max_examples=50, deadline=None)
+def test_truss_edges_close_enough_triangles(graph, k):
+    """Defining property: every surviving edge closes >= k-2 triangles
+    inside the surviving subgraph."""
+    vertices, edges = ktruss_of_subset(graph, range(graph.n), k)
+    for u, v in edges:
+        assert _edge_support_within(graph, vertices, u, v) >= k - 2
+
+
+@given(small_graphs(), st.integers(3, 5))
+@settings(max_examples=50, deadline=None)
+def test_truss_inside_core(graph, k):
+    """A k-truss is a subgraph of the (k-1)-core."""
+    assert maximal_ktruss(graph, k) <= maximal_kcore(graph, k - 1)
+
+
+@given(small_graphs(), st.integers(2, 5))
+@settings(max_examples=50, deadline=None)
+def test_truss_nesting(graph, k):
+    """(k+1)-trusses nest inside k-trusses."""
+    assert maximal_ktruss(graph, k + 1) <= maximal_ktruss(graph, k)
+
+
+@given(small_graphs())
+@settings(max_examples=50, deadline=None)
+def test_truss_numbers_consistent_with_subset_truss(graph):
+    """Edges with truss number >= k are exactly the maximal k-truss edges."""
+    numbers = truss_decomposition(graph)
+    for k in (3, 4):
+        from_numbers = {e for e, t in numbers.items() if t >= k}
+        __, from_peeling = ktruss_of_subset(graph, range(graph.n), k)
+        assert from_numbers == from_peeling
+
+
+@given(small_graphs(), st.integers(3, 4))
+@settings(max_examples=40, deadline=None)
+def test_truss_min_family_laminar_and_increasing(graph, k):
+    family = truss_min_communities(graph, k)
+    for a in family:
+        for b in family:
+            assert (
+                a.vertices <= b.vertices
+                or b.vertices <= a.vertices
+                or not (a.vertices & b.vertices)
+            )
+            if a.vertices < b.vertices:
+                assert a.value >= b.value
+
+
+@given(small_graphs(), st.integers(3, 4))
+@settings(max_examples=40, deadline=None)
+def test_truss_min_communities_are_valid_trusses(graph, k):
+    for community in truss_min_communities(graph, k):
+        vertices, edges = ktruss_of_subset(graph, community.vertices, k)
+        # The community is exactly its own k-truss (nothing peels away).
+        assert vertices == set(community.vertices)

@@ -1,0 +1,72 @@
+"""Truss decomposition cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.builder import graph_from_edges
+from repro.truss.decomposition import edge_supports, truss_decomposition, truss_max
+from tests.conftest import random_weighted_graph
+
+
+def _to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def test_supports_on_k4():
+    k4 = graph_from_edges([(i, j) for i in range(4) for j in range(i + 1, 4)])
+    supports = edge_supports(k4)
+    assert all(s == 2 for s in supports.values())  # each K4 edge in 2 triangles
+    assert len(supports) == 6
+
+
+def test_supports_triangle_free():
+    c5 = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    assert all(s == 0 for s in edge_supports(c5).values())
+
+
+def test_truss_numbers_on_k5():
+    k5 = graph_from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+    truss = truss_decomposition(k5)
+    assert all(t == 5 for t in truss.values())  # K_q is a q-truss
+    assert truss_max(k5) == 5
+
+
+def test_truss_numbers_match_networkx_ktruss():
+    """For every k, the edges with truss number >= k must equal the edge
+    set of networkx's k-truss."""
+    for seed in range(5):
+        graph = random_weighted_graph(25, 0.3, seed=seed)
+        truss = truss_decomposition(graph)
+        g = _to_nx(graph)
+        for k in (3, 4, 5, 6):
+            ours = {e for e, t in truss.items() if t >= k}
+            theirs = {
+                (min(u, v), max(u, v)) for u, v in nx.k_truss(g, k).edges()
+            }
+            assert ours == theirs, (seed, k)
+
+
+def test_edge_truss_at_least_two():
+    graph = random_weighted_graph(15, 0.2, seed=9)
+    truss = truss_decomposition(graph)
+    assert all(t >= 2 for t in truss.values())
+    assert len(truss) == graph.m
+
+
+def test_empty_graph_truss():
+    from repro.graphs.builder import GraphBuilder
+
+    empty = GraphBuilder(3).build()
+    assert truss_decomposition(empty) == {}
+    assert truss_max(empty) == 0
+
+
+def test_tiny_kcore_graph_truss(tiny):
+    truss = truss_decomposition(tiny)
+    # K4 edges have truss number 4; the pendant edges 2.
+    assert truss[(0, 1)] == 4
+    assert truss[(5, 6)] == 2
+    assert truss_max(tiny) == 4

@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.utils.charts import ascii_chart
+
+
+def test_basic_chart_structure():
+    chart = ascii_chart([4, 6], {"naive": [1.0, 0.5], "improve": [0.1, 0.05]})
+    lines = chart.splitlines()
+    assert "log scale" in lines[0]
+    assert any("o" in line for line in lines)  # first series symbol
+    assert any("x" in line for line in lines)  # second series symbol
+    assert "o=naive" in lines[-1]
+    assert "x=improve" in lines[-1]
+
+
+def test_extremes_on_boundary_rows():
+    chart = ascii_chart([1, 2], {"a": [100.0, 0.001]}, height=6)
+    lines = chart.splitlines()
+    # Max value lands on the top plot row, min on the bottom one.
+    assert "a" == "a" and "o" in lines[1]
+    assert "o" in lines[6]
+
+
+def test_none_points_skipped():
+    chart = ascii_chart([1, 2, 3], {"a": [None, 1.0, None]})
+    assert chart.count("o") >= 1  # only the present point is plotted
+
+
+def test_no_data_stub():
+    assert ascii_chart([1, 2], {"a": [None, None]}) == "(no data to chart)"
+    assert ascii_chart([], {}) == "(no data to chart)"
+
+
+def test_linear_scale():
+    chart = ascii_chart([1, 2], {"a": [1.0, 2.0]}, log_scale=False, y_label="value")
+    assert "linear" in chart.splitlines()[0]
+
+
+def test_collision_marked():
+    chart = ascii_chart([1], {"a": [1.0], "b": [1.0]})
+    assert "*" in chart  # coinciding points collapse to '*'
+
+
+def test_flat_series_does_not_crash():
+    chart = ascii_chart([1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+    assert "o" in chart

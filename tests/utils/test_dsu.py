@@ -1,0 +1,68 @@
+"""Unit tests for the disjoint-set union."""
+
+import pytest
+
+from repro.utils.dsu import DisjointSetUnion
+
+
+def test_initial_state():
+    dsu = DisjointSetUnion(5)
+    assert len(dsu) == 5
+    assert dsu.component_count == 5
+    for v in range(5):
+        assert dsu.find(v) == v
+
+
+def test_union_merges_and_reports():
+    dsu = DisjointSetUnion(4)
+    assert dsu.union(0, 1) is True
+    assert dsu.union(0, 1) is False  # already merged
+    assert dsu.connected(0, 1)
+    assert not dsu.connected(0, 2)
+    assert dsu.component_count == 3
+
+
+def test_size_tracking():
+    dsu = DisjointSetUnion(6)
+    dsu.union(0, 1)
+    dsu.union(1, 2)
+    assert dsu.size_of(0) == 3
+    assert dsu.size_of(2) == 3
+    assert dsu.size_of(5) == 1
+
+
+def test_union_all_counts_merges():
+    dsu = DisjointSetUnion(4)
+    merges = dsu.union_all([(0, 1), (1, 2), (0, 2), (2, 3)])
+    assert merges == 3
+    assert dsu.component_count == 1
+
+
+def test_components_partition():
+    dsu = DisjointSetUnion(5)
+    dsu.union(0, 3)
+    dsu.union(1, 4)
+    components = dsu.components()
+    assert sorted(map(sorted, components)) == [[0, 3], [1, 4], [2]]
+
+
+def test_representatives_one_per_set():
+    dsu = DisjointSetUnion(4)
+    dsu.union(0, 1)
+    reps = list(dsu.representatives())
+    assert len(reps) == 3
+    assert len(set(dsu.find(r) for r in reps)) == 3
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DisjointSetUnion(-1)
+
+
+def test_transitive_connectivity_chain():
+    dsu = DisjointSetUnion(100)
+    for i in range(99):
+        dsu.union(i, i + 1)
+    assert dsu.connected(0, 99)
+    assert dsu.component_count == 1
+    assert dsu.size_of(50) == 100

@@ -1,0 +1,110 @@
+"""Unit tests for the indexed and lazy heaps."""
+
+import pytest
+
+from repro.utils.heaps import IndexedMaxHeap, LazyMaxHeap
+
+
+class TestIndexedMaxHeap:
+    def test_push_pop_max_order(self):
+        heap = IndexedMaxHeap()
+        for item, prio in [(1, 5.0), (2, 9.0), (3, 1.0), (4, 7.0)]:
+            heap.push(item, prio)
+        popped = [heap.pop() for __ in range(4)]
+        assert popped == [(2, 9.0), (4, 7.0), (1, 5.0), (3, 1.0)]
+
+    def test_min_heap_mode(self):
+        heap = IndexedMaxHeap(reverse=True)
+        for item, prio in [(1, 5.0), (2, 9.0), (3, 1.0)]:
+            heap.push(item, prio)
+        assert heap.pop() == (3, 1.0)
+        assert heap.pop() == (1, 5.0)
+
+    def test_remove_from_middle(self):
+        heap = IndexedMaxHeap()
+        for item in range(10):
+            heap.push(item, float(item))
+        assert heap.remove(5) == 5.0
+        assert 5 not in heap
+        order = [heap.pop()[0] for __ in range(len(heap))]
+        assert order == [9, 8, 7, 6, 4, 3, 2, 1, 0]
+
+    def test_update_priority(self):
+        heap = IndexedMaxHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        heap.update(1, 10.0)
+        assert heap.peek() == (1, 10.0)
+        heap.update(1, 0.5)
+        assert heap.peek() == (2, 2.0)
+
+    def test_tie_break_by_item_id(self):
+        heap = IndexedMaxHeap()
+        heap.push(7, 1.0)
+        heap.push(3, 1.0)
+        heap.push(5, 1.0)
+        assert [heap.pop()[0] for __ in range(3)] == [3, 5, 7]
+
+    def test_duplicate_push_rejected(self):
+        heap = IndexedMaxHeap()
+        heap.push(1, 1.0)
+        with pytest.raises(KeyError):
+            heap.push(1, 2.0)
+
+    def test_empty_errors(self):
+        heap = IndexedMaxHeap()
+        with pytest.raises(IndexError):
+            heap.peek()
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(KeyError):
+            heap.update(1, 1.0)
+
+    def test_items_iteration(self):
+        heap = IndexedMaxHeap()
+        heap.push(1, 3.0)
+        heap.push(2, 4.0)
+        assert dict(heap.items()) == {1: 3.0, 2: 4.0}
+
+
+class TestLazyMaxHeap:
+    def test_pop_order(self):
+        heap: LazyMaxHeap[str] = LazyMaxHeap()
+        heap.push(1.0, "low")
+        heap.push(3.0, "high")
+        heap.push(2.0, "mid")
+        assert heap.pop() == (3.0, "high")
+        assert heap.pop() == (2.0, "mid")
+
+    def test_invalidate_skips_entry(self):
+        heap: LazyMaxHeap[str] = LazyMaxHeap()
+        heap.push(1.0, "keep")
+        token = heap.push(5.0, "dead")
+        heap.invalidate(token)
+        assert len(heap) == 1
+        assert heap.pop() == (1.0, "keep")
+
+    def test_double_invalidate_is_idempotent(self):
+        heap: LazyMaxHeap[int] = LazyMaxHeap()
+        token = heap.push(1.0, 42)
+        heap.invalidate(token)
+        heap.invalidate(token)
+        assert len(heap) == 0
+        assert not heap
+
+    def test_empty_pop_raises(self):
+        heap: LazyMaxHeap[int] = LazyMaxHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_peek_does_not_remove(self):
+        heap: LazyMaxHeap[int] = LazyMaxHeap()
+        heap.push(2.0, 7)
+        assert heap.peek() == (2.0, 7)
+        assert len(heap) == 1
+
+    def test_fifo_among_equal_priorities(self):
+        heap: LazyMaxHeap[str] = LazyMaxHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        assert heap.pop()[1] == "first"

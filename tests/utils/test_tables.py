@@ -1,0 +1,42 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_markdown_table, format_table
+
+
+def test_ascii_alignment():
+    out = format_table(["name", "v"], [["alpha", 1], ["b", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2]
+    # Separator row has the same dash structure as the header width.
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_title_prepended():
+    out = format_table(["a"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_formatting_compact():
+    out = format_table(["x"], [[0.000001234], [1234567.0], [1.5], [0.0]])
+    assert "1.234e-06" in out
+    assert "1.235e+06" in out
+    assert "1.5" in out
+    assert "0" in out
+
+
+def test_row_arity_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+    with pytest.raises(ValueError):
+        format_markdown_table(["a"], [[1, 2]])
+
+
+def test_markdown_structure():
+    out = format_markdown_table(["h1", "h2"], [["x", "y"]])
+    lines = out.splitlines()
+    assert lines[0] == "| h1 | h2 |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| x | y |"

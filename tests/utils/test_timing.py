@@ -1,0 +1,65 @@
+"""Unit tests for the stopwatch and duration formatting."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, format_seconds
+
+
+def test_context_manager_accumulates():
+    sw = Stopwatch()
+    with sw:
+        sum(range(100))
+    with sw:
+        sum(range(100))
+    assert sw.elapsed > 0
+    assert len(sw.laps) == 2
+    assert abs(sum(sw.laps) - sw.elapsed) < 1e-9
+
+
+def test_double_start_rejected():
+    sw = Stopwatch()
+    sw.start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+    sw.stop()
+
+
+def test_stop_without_start_rejected():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_reset():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0
+    assert sw.laps == []
+
+
+def test_reset_while_running_rejected():
+    sw = Stopwatch()
+    sw.start()
+    with pytest.raises(RuntimeError):
+        sw.reset()
+    sw.stop()
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (0.0000005, "0us"),
+        (0.00042, "420us"),
+        (0.042, "42.0ms"),
+        (2.5, "2.50s"),
+        (125.0, "2m05.0s"),
+    ],
+)
+def test_format_seconds(seconds, expected):
+    assert format_seconds(seconds) == expected
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        format_seconds(-1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the bounded top-r accumulator."""
+
+import pytest
+
+from repro.utils.topr import TopR
+
+
+def test_keeps_best_r():
+    top: TopR[int] = TopR(3, key=float)
+    top.offer_all([5, 1, 9, 7, 3])
+    assert top.ranked() == [9, 7, 5]
+
+
+def test_offer_returns_membership():
+    top: TopR[int] = TopR(2, key=float)
+    assert top.offer(1) is True
+    assert top.offer(2) is True
+    assert top.offer(0) is False  # worse than both
+    assert top.offer(5) is True   # evicts 1
+
+
+def test_threshold_tracks_rth_value():
+    top: TopR[int] = TopR(2, key=float)
+    assert top.threshold() == float("-inf")
+    top.offer(4)
+    assert top.threshold() == float("-inf")  # not full yet
+    top.offer(9)
+    assert top.threshold() == 4.0
+    top.offer(6)
+    assert top.threshold() == 6.0
+
+
+def test_tie_break_prefers_earlier_insertion():
+    top: TopR[str] = TopR(1, key=len)
+    top.offer("aa")
+    top.offer("bb")  # same key, later: must NOT replace
+    assert top.ranked() == ["aa"]
+
+
+def test_best_and_weakest():
+    top: TopR[int] = TopR(3, key=float)
+    top.offer_all([4, 8, 6])
+    assert top.best() == 8
+    assert top.weakest() == 4
+
+
+def test_empty_accessors_raise():
+    top: TopR[int] = TopR(2, key=float)
+    with pytest.raises(IndexError):
+        top.best()
+    with pytest.raises(IndexError):
+        top.weakest()
+
+
+def test_invalid_r_rejected():
+    with pytest.raises(ValueError):
+        TopR(0, key=float)
+
+
+def test_is_full_and_capacity():
+    top: TopR[int] = TopR(2, key=float)
+    assert top.capacity == 2
+    assert not top.is_full
+    top.offer_all([1, 2])
+    assert top.is_full
+
+
+def test_iteration_best_first():
+    top: TopR[int] = TopR(4, key=float)
+    top.offer_all([3, 1, 4, 1, 5])
+    assert list(top) == top.ranked()

@@ -1,0 +1,78 @@
+"""Unit tests for Zobrist hashing and the community deduper."""
+
+import pytest
+
+from repro.utils.zobrist import CommunityDeduper, ZobristHasher
+
+
+def test_hash_set_is_order_independent():
+    hasher = ZobristHasher(10)
+    assert hasher.hash_set([1, 2, 3]) == hasher.hash_set([3, 1, 2])
+
+
+def test_toggle_adds_and_removes():
+    hasher = ZobristHasher(10)
+    h = hasher.hash_set([1, 2])
+    h_with_3 = hasher.toggle(h, 3)
+    assert h_with_3 == hasher.hash_set([1, 2, 3])
+    assert hasher.toggle(h_with_3, 3) == h
+
+
+def test_empty_set_hashes_to_zero():
+    hasher = ZobristHasher(4)
+    assert hasher.hash_set([]) == 0
+
+
+def test_deterministic_across_instances():
+    a, b = ZobristHasher(8, seed=7), ZobristHasher(8, seed=7)
+    assert a.hash_set([0, 5]) == b.hash_set([0, 5])
+
+
+def test_different_seeds_differ():
+    a, b = ZobristHasher(8, seed=1), ZobristHasher(8, seed=2)
+    assert a.hash_set([0, 5]) != b.hash_set([0, 5])
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        ZobristHasher(-1)
+
+
+class TestCommunityDeduper:
+    def test_first_add_true_second_false(self):
+        deduper = CommunityDeduper(ZobristHasher(10))
+        assert deduper.add(frozenset({1, 2})) is True
+        assert deduper.add(frozenset({1, 2})) is False
+        assert len(deduper) == 1
+
+    def test_distinct_sets_both_accepted(self):
+        deduper = CommunityDeduper(ZobristHasher(10))
+        assert deduper.add(frozenset({1, 2}))
+        assert deduper.add(frozenset({1, 3}))
+        assert len(deduper) == 2
+
+    def test_seen_without_mutation(self):
+        deduper = CommunityDeduper(ZobristHasher(10))
+        s = frozenset({4, 5})
+        assert not deduper.seen(s)
+        deduper.add(s)
+        assert deduper.seen(s)
+
+    def test_precomputed_key_path(self):
+        hasher = ZobristHasher(10)
+        deduper = CommunityDeduper(hasher)
+        s = frozenset({2, 7})
+        key = hasher.hash_set(s)
+        assert deduper.add(s, key) is True
+        assert deduper.add(s, key) is False
+
+    def test_exact_on_forced_collision(self):
+        # Two different sets deliberately filed under the same key must
+        # still be distinguished by the exact frozenset comparison.
+        hasher = ZobristHasher(10)
+        deduper = CommunityDeduper(hasher)
+        fake_key = 12345
+        assert deduper.add(frozenset({1}), fake_key) is True
+        assert deduper.add(frozenset({2}), fake_key) is True
+        assert deduper.add(frozenset({1}), fake_key) is False
+        assert len(deduper) == 2
