@@ -1,6 +1,11 @@
 """Substrate ablation — not a paper figure, but engineering due diligence:
 where does solver time go?  Core decomposition, PageRank, component
 splitting and the expansion fast path are each measured in isolation.
+
+The ``*_set`` / ``*_csr`` benchmark pairs compare the two graph-kernel
+backends on the same dataset; ``python benchmarks/bench_substrates.py``
+runs the standalone old-vs-new comparison on a 50k-vertex random graph
+and writes the measured speedups to ``BENCH_csr_backend.json``.
 """
 
 from __future__ import annotations
@@ -10,8 +15,13 @@ import pytest
 from repro.aggregators.summation import Sum
 from repro.centrality.pagerank import pagerank
 from repro.core.decomposition import core_decomposition
-from repro.core.kcore import connected_kcore_components, maximal_kcore
+from repro.core.kcore import (
+    connected_kcore_components,
+    kcore_of_subset,
+    maximal_kcore,
+)
 from repro.influential.expansion import ExpansionContext
+from repro.truss.decomposition import edge_supports
 from repro.utils.zobrist import ZobristHasher
 
 
@@ -19,6 +29,56 @@ def test_bench_core_decomposition(benchmark, email):
     benchmark.group = "substrate"
     cores = benchmark(core_decomposition, email)
     assert len(cores) == email.n
+
+
+def test_bench_core_decomposition_set_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    cores = benchmark(core_decomposition, email, "set")
+    assert len(cores) == email.n
+
+
+def test_bench_core_decomposition_csr_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    email.csr  # warm the cache: construction is once-per-graph, not per-call
+    cores = benchmark(core_decomposition, email, "csr")
+    assert len(cores) == email.n
+
+
+def test_bench_kcore_of_subset_set_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    core = benchmark(kcore_of_subset, email, range(email.n), 4, "set")
+    assert core
+
+
+def test_bench_kcore_of_subset_csr_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    email.csr
+    core = benchmark(kcore_of_subset, email, range(email.n), 4, "csr")
+    assert core
+
+
+def test_bench_edge_supports_set_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    supports = benchmark(edge_supports, email, "set")
+    assert len(supports) == email.m
+
+
+def test_bench_edge_supports_csr_backend(benchmark, email):
+    benchmark.group = "substrate-backends"
+    email.csr
+    supports = benchmark(edge_supports, email, "csr")
+    assert len(supports) == email.m
+
+
+def test_backends_agree_on_email(email):
+    import numpy as np
+
+    assert np.array_equal(
+        core_decomposition(email, "set"), core_decomposition(email, "csr")
+    )
+    assert kcore_of_subset(email, range(email.n), 4, "set") == kcore_of_subset(
+        email, range(email.n), 4, "csr"
+    )
 
 
 def test_bench_pagerank(benchmark, email):
@@ -81,3 +141,78 @@ def test_fast_path_is_common(email):
         if not weak and v not in ctx.articulation:
             fast += 1
     assert fast / len(component) > 0.2
+
+
+# ----------------------------------------------------------------------
+# Standalone old-vs-new backend comparison (the CSR refactor's receipts)
+# ----------------------------------------------------------------------
+def measure_backend_speedups(
+    n: int = 50_000, m: int = 400_000, seed: int = 7, repeats: int = 3
+) -> dict:
+    """Time every rewritten kernel under both backends on one G(n, m) graph.
+
+    Returns a JSON-ready report; kernel times are best-of-``repeats``.
+    The CSR flattening cost is reported separately (it is paid once per
+    graph, while the kernels run per query).
+    """
+    import time
+
+    import numpy as np
+
+    from repro.graphs.generators.random_graphs import gnm_random_graph
+
+    def best_of(fn):
+        times = []
+        for __ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    graph = gnm_random_graph(n, m, seed=seed)
+    build_start = time.perf_counter()
+    graph.csr
+    csr_build_seconds = time.perf_counter() - build_start
+
+    kernels = {
+        "core_decomposition": lambda b: core_decomposition(graph, b),
+        "kcore_of_subset": lambda b: kcore_of_subset(
+            graph, range(graph.n), 10, b
+        ),
+        "edge_supports": lambda b: edge_supports(graph, b),
+    }
+    report = {
+        "benchmark": "csr_backend_speedups",
+        "graph": {"model": "gnm", "n": graph.n, "m": graph.m, "seed": seed},
+        "csr_build_seconds": round(csr_build_seconds, 4),
+        "kernels": {},
+    }
+    for name, kernel in kernels.items():
+        set_seconds, set_result = best_of(lambda: kernel("set"))
+        csr_seconds, csr_result = best_of(lambda: kernel("csr"))
+        if isinstance(set_result, dict) or isinstance(set_result, set):
+            agree = set_result == csr_result
+        else:
+            agree = bool(np.array_equal(set_result, csr_result))
+        report["kernels"][name] = {
+            "set_seconds": round(set_seconds, 4),
+            "csr_seconds": round(csr_seconds, 4),
+            "speedup": round(set_seconds / csr_seconds, 2),
+            "results_agree": agree,
+        }
+    return report
+
+
+def main() -> None:
+    import json
+    import pathlib
+
+    report = measure_backend_speedups()
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_csr_backend.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,9 +17,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+import numpy as np
+
 from repro.core.decomposition import core_decomposition
 from repro.errors import SpecError
+from repro.graphs.backend import resolve_backend
 from repro.graphs.components import connected_components_of
+from repro.graphs.csr import membership_mask
 from repro.graphs.graph import Graph
 
 
@@ -28,7 +32,7 @@ def _check_k(k: int) -> None:
         raise SpecError(f"degree constraint k must be non-negative, got {k}")
 
 
-def maximal_kcore(graph: Graph, k: int) -> set[int]:
+def maximal_kcore(graph: Graph, k: int, backend: str = "auto") -> set[int]:
     """Vertex set of the maximal k-core of the whole graph.
 
     Uses the core decomposition (O(n + m)) and thresholds at k, which both
@@ -36,19 +40,30 @@ def maximal_kcore(graph: Graph, k: int) -> set[int]:
     should threshold :func:`core_decomposition` themselves.
     """
     _check_k(k)
-    cores = core_decomposition(graph)
-    return {v for v in range(graph.n) if cores[v] >= k}
+    cores = core_decomposition(graph, backend=backend)
+    return set(np.flatnonzero(cores >= k).tolist())
 
 
-def kcore_of_subset(graph: Graph, vertices: Iterable[int], k: int) -> set[int]:
+def kcore_of_subset(
+    graph: Graph, vertices: Iterable[int], k: int, backend: str = "auto"
+) -> set[int]:
     """The maximal sub-k-core of ``G[vertices]`` (empty set if none).
 
-    Standard worklist peeling: start from vertices whose induced degree is
-    below k, cascade deletions.  The result is the unique maximal subset of
-    ``vertices`` whose induced subgraph has minimum degree >= k.
+    The result is the unique maximal subset of ``vertices`` whose induced
+    subgraph has minimum degree >= k.  The CSR backend peels a boolean
+    mask with vectorised frontier rounds
+    (:meth:`repro.graphs.csr.CSRAdjacency.peel_to_kcore`) — except for
+    subsets tiny relative to the graph, where the O(n) mask rounds would
+    dwarf the work and the set peel's subset-proportional cost wins.  The
+    set backend runs the standard worklist peel: start from vertices whose
+    induced degree is below k, cascade deletions.
     """
     _check_k(k)
     alive = set(vertices)
+    if resolve_backend(backend) == "csr" and len(alive) * 16 >= graph.n:
+        mask = membership_mask(graph.n, alive)
+        mask, __ = graph.csr.peel_to_kcore(mask, k)
+        return set(np.flatnonzero(mask).tolist())
     for v in alive:
         graph.check_vertex(v)
     adj = graph.adjacency
@@ -70,7 +85,7 @@ def kcore_of_subset(graph: Graph, vertices: Iterable[int], k: int) -> set[int]:
 
 
 def connected_kcore_components(
-    graph: Graph, vertices: Iterable[int], k: int
+    graph: Graph, vertices: Iterable[int], k: int, backend: str = "auto"
 ) -> list[set[int]]:
     """Connected components of the maximal sub-k-core of ``G[vertices]``.
 
@@ -78,7 +93,7 @@ def connected_kcore_components(
     Algorithms 1 and 2 enumerate.  Ordered by smallest member for
     determinism.
     """
-    core = kcore_of_subset(graph, vertices, k)
+    core = kcore_of_subset(graph, vertices, k, backend=backend)
     if not core:
         return []
     return connected_components_of(graph, core)

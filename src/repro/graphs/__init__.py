@@ -7,6 +7,13 @@ edges; :mod:`repro.graphs.generators` produces the synthetic datasets used
 in place of the SNAP downloads (see DESIGN.md Section 4).
 """
 
+from repro.graphs.backend import (
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.graphs.builder import GraphBuilder
 from repro.graphs.components import (
     bfs_order,
@@ -14,6 +21,7 @@ from repro.graphs.components import (
     connected_components_of,
     is_connected_subset,
 )
+from repro.graphs.csr import CSRAdjacency
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
     load_edge_list,
@@ -24,9 +32,15 @@ from repro.graphs.io import (
 from repro.graphs.views import induced_degrees, induced_edge_count, induced_subgraph
 
 __all__ = [
+    "BACKENDS",
+    "CSRAdjacency",
     "Graph",
     "GraphBuilder",
     "bfs_order",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "connected_components",
     "connected_components_of",
     "induced_degrees",

@@ -1,0 +1,69 @@
+"""Backend selection for the graph kernels.
+
+Two implementations of every hot kernel coexist:
+
+* ``"set"`` — the original pure-Python paths over the list-of-sets
+  adjacency (reference semantics, kept for parity checking);
+* ``"csr"`` — vectorised numpy paths over :class:`repro.graphs.csr.CSRAdjacency`
+  flat arrays (the default).
+
+Kernels take a ``backend="auto"`` keyword; ``"auto"`` resolves to the
+ambient default, which :func:`use_backend` scopes for a block — this is how
+:func:`repro.influential.api.top_r_communities` threads one ``backend=``
+argument through every solver without each call site learning a new
+parameter.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.errors import GraphError
+
+#: Recognised backend names ("auto" resolves to the current default).
+BACKENDS = ("set", "csr")
+
+# A ContextVar rather than a module global: concurrent queries (threads or
+# asyncio tasks) scoping different backends via use_backend() cannot race
+# each other's "auto" resolutions.
+_default_backend: ContextVar[str] = ContextVar("repro_graph_backend", default="csr")
+
+
+def _check(name: str) -> None:
+    if name not in BACKENDS:
+        raise GraphError(
+            f"unknown graph backend {name!r}; expected one of {BACKENDS} or 'auto'"
+        )
+
+
+def get_default_backend() -> str:
+    """The backend that ``backend="auto"`` currently resolves to."""
+    return _default_backend.get()
+
+
+def set_default_backend(name: str) -> None:
+    """Set the default backend for the current context (and contexts later
+    forked from it)."""
+    _check(name)
+    _default_backend.set(name)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a ``backend=`` argument to a concrete backend name."""
+    if backend is None or backend == "auto":
+        return _default_backend.get()
+    _check(backend)
+    return backend
+
+
+@contextmanager
+def use_backend(backend: str | None) -> Iterator[str]:
+    """Scope the default backend for a ``with`` block (re-entrant)."""
+    resolved = resolve_backend(backend)
+    token = _default_backend.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _default_backend.reset(token)

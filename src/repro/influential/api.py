@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.aggregators.base import Aggregator
 from repro.errors import SolverError
+from repro.graphs.backend import use_backend
 from repro.graphs.graph import Graph
 from repro.influential.exact import tic_exact
 from repro.influential.improved import tic_improved
@@ -56,6 +57,7 @@ def top_r_communities(
     greedy: bool = True,
     seed_order: str | None = None,
     rng_seed: int | None = None,
+    backend: str = "auto",
 ) -> ResultSet:
     """Find the top-r (non-overlapping) (size-constrained) communities.
 
@@ -65,12 +67,34 @@ def top_r_communities(
     Approx method), ``non_overlapping`` for Problem 2, and ``greedy``
     selecting the local-search variant.  ``method`` forces a specific
     algorithm; ``"auto"`` follows the dispatch table above.
+
+    ``backend`` selects the graph-kernel backend ("set" or "csr"; "auto"
+    keeps the ambient default) for every kernel the chosen solver runs —
+    see :mod:`repro.graphs.backend`.  Both backends return identical
+    results; "set" exists for parity checking and debugging.
     """
     spec = ProblemSpec.create(k, r, f, s, non_overlapping)
     spec.validate_for(graph)
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; expected one of {METHODS}")
+    with use_backend(backend):
+        return _dispatch(
+            graph, spec, method, eps, greedy, seed_order, rng_seed
+        )
+
+
+def _dispatch(
+    graph: Graph,
+    spec: ProblemSpec,
+    method: str,
+    eps: float,
+    greedy: bool,
+    seed_order: str | None,
+    rng_seed: int | None,
+) -> ResultSet:
     aggregator = spec.f
+    k, r, s = spec.k, spec.r, spec.s
+    non_overlapping = spec.non_overlapping
 
     if method == "bruteforce":
         from repro.influential.bruteforce import (

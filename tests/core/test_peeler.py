@@ -81,3 +81,51 @@ def test_alive_neighbors(tiny):
     assert ws.alive_neighbors(0) == {1, 2, 3, 4}
     ws.remove(4)
     assert ws.alive_neighbors(0) == {1, 2, 3}
+
+
+@pytest.mark.parametrize("backend", ["set", "csr"])
+def test_reset_reuses_workspace_across_queries(backend):
+    """One workspace, many queries: reset() must leave no stale degrees."""
+    graph = random_weighted_graph(30, 0.2, seed=9)
+    ws = PeelingWorkspace(graph, 2, backend=backend)
+    pristine_alive = set(ws.alive)
+    pristine_degrees = {v: ws.degree(v) for v in ws.alive}
+    # First query mutates the workspace heavily.
+    while len(ws.alive) > 5:
+        ws.remove(min(ws.alive))
+    # Reset for a second query over the full graph: identical to a fresh
+    # workspace, degree by degree.
+    ws.reset()
+    assert ws.alive == pristine_alive
+    assert {v: ws.degree(v) for v in ws.alive} == pristine_degrees
+
+
+@pytest.mark.parametrize("backend", ["set", "csr"])
+def test_reset_to_subset_recomputes_degrees(backend):
+    """Stale-degree regression: after a cascade shrank the alive set, a
+    reset to an overlapping subset must recompute induced degrees from the
+    graph, not inherit decremented counters."""
+    graph = random_weighted_graph(24, 0.3, seed=4)
+    ws = PeelingWorkspace(graph, 2, backend=backend)
+    for __ in range(6):
+        if not ws.alive:
+            break
+        ws.remove(min(ws.alive))
+    subset = set(range(0, graph.n, 2))
+    ws.reset(subset)
+    fresh = PeelingWorkspace(graph, 2, vertices=subset, backend=backend)
+    assert ws.alive == fresh.alive == kcore_of_subset(graph, subset, 2)
+    for v in ws.alive:
+        assert ws.degree(v) == fresh.degree(v)
+        assert ws.alive_neighbors(v) == fresh.alive_neighbors(v)
+
+
+def test_reset_validates_vertices(tiny):
+    ws = PeelingWorkspace(tiny, 1)
+    with pytest.raises(VertexError):
+        ws.reset([0, 99])
+
+
+def test_workspace_backend_property(tiny):
+    assert PeelingWorkspace(tiny, 1, backend="set").backend == "set"
+    assert PeelingWorkspace(tiny, 1, backend="csr").backend == "csr"

@@ -1,0 +1,159 @@
+"""CSR backend construction invariants, cache behaviour and primitives."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.backend import (
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder, graph_from_edges
+from repro.graphs.csr import CSRAdjacency, decrement_degrees
+from repro.graphs.generators.examples import figure1_graph, tiny_kcore_graph
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert,
+    chung_lu,
+    gnm_random_graph,
+    gnp_random_graph,
+    powerlaw_configuration_model,
+)
+from repro.graphs.views import induced_subgraph
+
+
+def generated_graphs():
+    yield figure1_graph()
+    yield tiny_kcore_graph()
+    yield gnp_random_graph(40, 0.15, seed=1)
+    yield gnp_random_graph(25, 0.0, seed=2)  # edgeless
+    yield gnm_random_graph(60, 150, seed=3)
+    yield barabasi_albert(80, 3, seed=4)
+    yield powerlaw_configuration_model(70, 2.5, seed=5)
+    yield chung_lu(50, np.full(50, 4.0), seed=6)
+    yield GraphBuilder(0).build()
+
+
+@pytest.mark.parametrize("graph", generated_graphs(), ids=lambda g: repr(g))
+def test_csr_construction_invariants(graph):
+    csr = graph.csr
+    indptr, indices = csr.indptr, csr.indices
+    # Shape: one run per vertex, indptr[-1] == 2m == len(indices).
+    assert len(indptr) == graph.n + 1
+    assert indptr[0] == 0
+    assert int(indptr[-1]) == 2 * graph.m == len(indices)
+    assert np.all(np.diff(indptr) >= 0)
+    if graph.n:
+        assert indices.size == 0 or (
+            indices.min() >= 0 and indices.max() < graph.n
+        )
+    arcs = set()
+    for v in range(graph.n):
+        run = indices[indptr[v] : indptr[v + 1]]
+        # Sorted, duplicate-free neighbour runs mirroring the set backend.
+        assert np.all(np.diff(run) > 0)
+        assert set(run.tolist()) == graph.adjacency[v]
+        assert v not in run  # no self-loops
+        arcs.update((v, int(u)) for u in run)
+    # Symmetry: every arc has its reverse.
+    assert all((u, v) in arcs for v, u in arcs)
+
+
+def test_csr_matches_degrees():
+    graph = gnm_random_graph(50, 120, seed=11)
+    assert np.array_equal(graph.csr.degrees(), graph.degrees())
+    assert int(graph.csr.degrees().max(initial=0)) == graph.max_degree
+
+
+def test_csr_is_cached_and_shared():
+    graph = gnp_random_graph(20, 0.2, seed=8)
+    assert not graph.has_csr
+    first = graph.csr
+    assert graph.has_csr
+    assert graph.csr is first
+    # Derived graphs with the same topology share the cache.
+    reweighted = graph.with_weights(np.ones(graph.n))
+    assert reweighted.has_csr and reweighted.csr is first
+    relabeled = graph.with_labels([f"x{v}" for v in range(graph.n)])
+    assert relabeled.csr is first
+
+
+def test_csr_arrays_are_read_only():
+    csr = gnp_random_graph(10, 0.3, seed=9).csr
+    with pytest.raises(ValueError):
+        csr.indptr[0] = 1
+    with pytest.raises(ValueError):
+        csr.indices[0] = 1
+
+
+def test_builder_warm_csr():
+    cold = GraphBuilder(3).add_edge(0, 1).build()
+    assert not cold.has_csr
+    warm = GraphBuilder(3).add_edge(0, 1).build(warm_csr=True)
+    assert warm.has_csr
+
+
+def test_induced_subgraph_propagates_csr():
+    graph = gnm_random_graph(40, 90, seed=12)
+    graph.csr  # materialise the parent cache
+    sub, mapping = induced_subgraph(graph, range(5, 30))
+    assert sub.has_csr
+    rebuilt = CSRAdjacency.from_adjacency(sub.adjacency)
+    assert np.array_equal(sub.csr.indptr, rebuilt.indptr)
+    assert np.array_equal(sub.csr.indices, rebuilt.indices)
+    # Without a warm parent cache the child stays lazy.
+    cold = gnm_random_graph(40, 90, seed=12)
+    sub2, __ = induced_subgraph(cold, range(5, 30))
+    assert not sub2.has_csr
+
+
+def test_gather_concatenates_runs():
+    graph = graph_from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+    csr = graph.csr
+    out = csr.gather(np.asarray([0, 2]))
+    assert out.tolist() == [1, 2, 0, 1, 3]
+    neigh, owners, positions = csr.gather_full(np.asarray([3, 1]))
+    assert neigh.tolist() == [2, 0, 2]
+    assert owners.tolist() == [3, 1, 1]
+    assert np.array_equal(csr.indices[positions], neigh)
+    assert csr.gather(np.asarray([], dtype=np.int64)).size == 0
+
+
+def test_subset_degrees_and_peel():
+    graph = graph_from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+    csr = graph.csr
+    mask = np.asarray([True, True, True, True, False])
+    deg = csr.subset_degrees(mask)
+    assert deg.tolist() == [2, 2, 3, 1, 0]
+    mask, deg = csr.peel_to_kcore(mask, 2)
+    assert np.flatnonzero(mask).tolist() == [0, 1, 2]
+    assert deg[np.flatnonzero(mask)].tolist() == [2, 2, 2]
+
+
+def test_decrement_degrees_both_strategies():
+    # Small frontier -> subtract.at path; large -> bincount path.  Both
+    # must handle duplicates and report each touched vertex once.
+    for size in (4, 64):
+        degrees = np.full(size, 5, dtype=np.int64)
+        neigh = np.asarray([1, 1, 2], dtype=np.int64)
+        touched = decrement_degrees(degrees, neigh)
+        assert touched.tolist() == [1, 2]
+        assert degrees[1] == 3 and degrees[2] == 4
+
+
+def test_backend_registry():
+    assert get_default_backend() == "csr"
+    assert resolve_backend("auto") == "csr"
+    assert resolve_backend("set") == "set"
+    with use_backend("set"):
+        assert get_default_backend() == "set"
+        assert resolve_backend(None) == "set"
+        with use_backend("csr"):
+            assert get_default_backend() == "csr"
+        assert get_default_backend() == "set"
+    assert get_default_backend() == "csr"
+    with pytest.raises(GraphError):
+        resolve_backend("bogus")
+    with pytest.raises(GraphError):
+        set_default_backend("bogus")

@@ -1,0 +1,89 @@
+"""Property-based parity between the set and CSR graph backends.
+
+Every hot kernel has two implementations (see ``repro.graphs.backend``);
+on random graphs they must return *identical* results — not merely
+equivalent ones — because solvers layered on top are deterministic
+functions of the kernel outputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition
+from repro.core.kcore import kcore_of_subset, maximal_kcore
+from repro.core.peeler import PeelingWorkspace
+from repro.graphs.builder import graph_from_edges
+from repro.influential.api import top_r_communities
+from repro.truss.decomposition import edge_supports, truss_decomposition
+
+AGGREGATORS = ("sum", "avg", "min", "max")
+
+
+@st.composite
+def weighted_graphs(draw, min_n=2, max_n=16, max_edges=48):
+    n = draw(st.integers(min_n, max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=max_edges)
+    )
+    weights = draw(st.lists(st.floats(0.1, 50.0), min_size=n, max_size=n))
+    return graph_from_edges(edges, weights=weights, n=n)
+
+
+@given(weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_core_decomposition_parity(graph):
+    assert np.array_equal(
+        core_decomposition(graph, backend="set"),
+        core_decomposition(graph, backend="csr"),
+    )
+
+
+@given(weighted_graphs(), st.integers(0, 5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_kcore_of_subset_parity(graph, k, data):
+    subset = data.draw(
+        st.lists(st.integers(0, graph.n - 1), unique=True, max_size=graph.n)
+    )
+    assert kcore_of_subset(graph, subset, k, backend="set") == kcore_of_subset(
+        graph, subset, k, backend="csr"
+    )
+    assert maximal_kcore(graph, k, backend="set") == maximal_kcore(
+        graph, k, backend="csr"
+    )
+
+
+@given(weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_truss_parity(graph):
+    assert edge_supports(graph, backend="set") == edge_supports(
+        graph, backend="csr"
+    )
+    assert truss_decomposition(graph, backend="set") == truss_decomposition(
+        graph, backend="csr"
+    )
+
+
+@given(weighted_graphs(min_n=5), st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_top_r_parity(graph, k, r):
+    for f in AGGREGATORS:
+        assert top_r_communities(
+            graph, k, r, f=f, backend="set"
+        ) == top_r_communities(graph, k, r, f=f, backend="csr"), f
+
+
+@given(weighted_graphs(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_peeling_workspace_parity(graph, k):
+    ws_set = PeelingWorkspace(graph, k, backend="set")
+    ws_csr = PeelingWorkspace(graph, k, backend="csr")
+    assert ws_set.alive == ws_csr.alive
+    while ws_csr.alive:
+        v = min(ws_csr.alive)
+        assert ws_set.degree(v) == ws_csr.degree(v)
+        assert ws_set.alive_neighbors(v) == ws_csr.alive_neighbors(v)
+        assert set(ws_set.remove(v)) == set(ws_csr.remove(v))
+        assert ws_set.alive == ws_csr.alive
+        assert ws_set.components() == ws_csr.components()

@@ -66,3 +66,58 @@ def test_transitive_connectivity_chain():
     assert dsu.connected(0, 99)
     assert dsu.component_count == 1
     assert dsu.size_of(50) == 100
+
+
+def test_path_compression_zero_elements():
+    dsu = DisjointSetUnion(0)
+    assert len(dsu) == 0
+    assert dsu.component_count == 0
+    assert dsu.components() == []
+    assert list(dsu.representatives()) == []
+
+
+def test_path_compression_flattens_chains():
+    """After find(), every vertex on the walked path points at the root."""
+    dsu = DisjointSetUnion(8)
+    # Build a deliberate parent chain 0 <- 1 <- 2 <- ... <- 7 by unioning
+    # in an order that keeps attaching the singleton to the growing set.
+    for i in range(7):
+        dsu.union(0, i + 1)
+    root = dsu.find(7)
+    # Path compression is an internal detail; observe it via _parent.
+    assert all(dsu._parent[v] == root for v in range(8))
+
+
+def test_find_self_root_is_identity_and_idempotent():
+    dsu = DisjointSetUnion(3)
+    assert dsu.find(2) == 2
+    assert dsu.find(2) == 2  # repeated finds on a root stay stable
+    dsu.union(0, 1)
+    r = dsu.find(0)
+    assert dsu.find(r) == r
+
+
+def test_union_by_size_keeps_larger_root():
+    dsu = DisjointSetUnion(6)
+    dsu.union(0, 1)
+    dsu.union(0, 2)  # {0,1,2}
+    big_root = dsu.find(0)
+    dsu.union(3, 4)  # {3,4}
+    dsu.union(2, 3)  # smaller set attaches under the larger root
+    assert dsu.find(4) == big_root
+    assert dsu.size_of(4) == 5
+
+
+def test_compression_preserves_sizes_and_count():
+    """size_of/component_count stay exact through deep compressions."""
+    dsu = DisjointSetUnion(64)
+    for i in range(0, 64, 2):
+        dsu.union(i, i + 1)
+    for i in range(0, 62, 4):
+        dsu.union(i, i + 2)
+    count_before = dsu.component_count
+    sizes_before = sorted(dsu.size_of(v) for v in range(64))
+    for v in range(64):  # full compression pass
+        dsu.find(v)
+    assert dsu.component_count == count_before
+    assert sorted(dsu.size_of(v) for v in range(64)) == sizes_before
