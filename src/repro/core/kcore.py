@@ -96,7 +96,7 @@ def connected_kcore_components(
     core = kcore_of_subset(graph, vertices, k, backend=backend)
     if not core:
         return []
-    return connected_components_of(graph, core)
+    return connected_components_of(graph, core, backend=backend)
 
 
 def is_kcore_subset(graph: Graph, vertices: Iterable[int], k: int) -> bool:

@@ -1,10 +1,10 @@
 """Compressed-sparse-row adjacency: the array-speed graph backend.
 
 A :class:`CSRAdjacency` stores the same topology as the list-of-sets
-adjacency of :class:`repro.graphs.graph.Graph`, flattened into two int64
-arrays — ``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``,
-neighbours of vertex ``v`` at ``indices[indptr[v]:indptr[v + 1]]``, sorted
-ascending).  The peeling kernels in :mod:`repro.core` and
+adjacency of :class:`repro.graphs.graph.Graph`, flattened into two flat
+arrays — ``indptr`` (length ``n + 1``, int64) and ``indices`` (length
+``2m``, int32 when every vertex id fits, neighbours of vertex ``v`` at
+``indices[indptr[v]:indptr[v + 1]]``, sorted ascending).  The peeling kernels in :mod:`repro.core` and
 :mod:`repro.truss` run over these flat arrays with bincount/frontier
 operations instead of per-vertex Python set intersections, which is where
 the order-of-magnitude speedups come from (see
@@ -48,15 +48,30 @@ def membership_mask(n: int, vertices) -> np.ndarray:
 
 
 class CSRAdjacency:
-    """Immutable CSR view of an undirected graph's adjacency structure."""
+    """Immutable CSR view of an undirected graph's adjacency structure.
+
+    ``indices`` is stored as int32 whenever every vertex id fits (n < 2³¹),
+    halving the memory traffic of the gather-heavy kernels; the overflow
+    guard falls back to int64 for hypothetical n >= 2³¹ graphs.  ``indptr``
+    stays int64 unconditionally: its entries are cumulative *edge counts*
+    that reach 2m and would overflow int32 already at m >= 2³⁰.
+    """
 
     __slots__ = ("indptr", "indices")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        index_dtype = self._index_dtype(len(self.indptr) - 1)
+        self.indices = np.ascontiguousarray(indices, dtype=index_dtype)
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
+
+    @staticmethod
+    def _index_dtype(n: int) -> np.dtype:
+        """Narrowest integer dtype that can store every vertex id < ``n``."""
+        if n <= np.iinfo(np.int32).max:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
 
     @classmethod
     def from_adjacency(cls, adjacency: list[set[int]]) -> "CSRAdjacency":
@@ -131,6 +146,107 @@ class CSRAdjacency:
         cum = np.cumsum(counts)
         within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
         return np.repeat(starts, counts) + within, counts
+
+    # ------------------------------------------------------------------
+    # Component-local views
+    # ------------------------------------------------------------------
+    def induced_local(self, members: np.ndarray) -> "CSRAdjacency":
+        """CSR of ``G[members]`` relabelled to the dense id space 0..c-1.
+
+        ``members`` must be sorted ascending and duplicate-free; local id
+        ``i`` stands for global vertex ``members[i]``.  Neighbour runs stay
+        sorted because filtering and the monotone searchsorted relabelling
+        both preserve the original run order.  Membership testing uses a
+        full-length boolean mask when the subset is a sizable fraction of
+        the graph and binary search otherwise, so many-small-component
+        callers do not pay O(n) per build.
+        """
+        members = np.asarray(members, dtype=np.int64)
+        c = members.size
+        if c == 0:
+            return CSRAdjacency(np.zeros(1, dtype=np.int64), np.empty(0))
+        neigh = self.gather(members)
+        counts = self.indptr[members + 1] - self.indptr[members]
+        if c * 16 >= self.n:
+            mask = np.zeros(self.n, dtype=bool)
+            mask[members] = True
+            inside = mask[neigh]
+        else:
+            pos = np.searchsorted(members, neigh)
+            pos[pos == c] = 0  # out-of-range probes cannot match members[0]
+            inside = members[pos] == neigh
+        owners = np.repeat(np.arange(c, dtype=np.int64), counts)[inside]
+        local_degrees = np.bincount(owners, minlength=c)
+        indptr = np.zeros(c + 1, dtype=np.int64)
+        np.cumsum(local_degrees, out=indptr[1:])
+        local_indices = np.searchsorted(members, neigh[inside])
+        return CSRAdjacency(indptr, local_indices)
+
+    def components_of_mask(self, mask: np.ndarray) -> list[np.ndarray]:
+        """Connected components among the vertices with ``mask`` set.
+
+        Vectorised frontier BFS: each round gathers the neighbour runs of
+        the whole frontier at once.  Components are emitted in order of
+        their smallest member and each is a sorted int64 id array — the
+        same contract as the set-backend splitter, so solver outputs do
+        not depend on the backend.  ``mask`` is not modified.
+        """
+        unvisited = mask.copy()
+        # Two escape hatches keep the level-synchronous BFS from paying
+        # fixed overheads per level on shapes it does not suit: narrow
+        # levels sort their own neighbour multiset instead of the O(n)
+        # scratch-mask collect, and a component whose frontier is *still*
+        # narrow after many levels is a high-diameter chain — numpy call
+        # overhead per level would make it quadratic-feeling, so the
+        # remainder drains through a scalar worklist instead.
+        scratch = np.zeros(mask.size, dtype=bool)
+        components: list[np.ndarray] = []
+        for seed in np.flatnonzero(mask):
+            if not unvisited[seed]:
+                continue
+            unvisited[seed] = False
+            frontier = np.asarray([seed], dtype=np.int64)
+            chunks = [frontier]
+            level = 0
+            while frontier.size:
+                level += 1
+                if level >= 32 and frontier.size * 64 < mask.size:
+                    chunks.append(self._drain_bfs(frontier, unvisited))
+                    break
+                neigh = self.gather(frontier)
+                neigh = neigh[unvisited[neigh]]
+                if neigh.size == 0:
+                    break
+                unvisited[neigh] = False
+                if neigh.size * 16 < mask.size:
+                    frontier = np.unique(neigh).astype(np.int64, copy=False)
+                else:
+                    scratch[neigh] = True
+                    frontier = np.flatnonzero(scratch)
+                    scratch[frontier] = False
+                chunks.append(frontier)
+            if len(chunks) == 1:
+                components.append(chunks[0])
+            else:
+                components.append(np.sort(np.concatenate(chunks)))
+        return components
+
+    def _drain_bfs(self, frontier: np.ndarray, unvisited: np.ndarray) -> np.ndarray:
+        """Finish a BFS one vertex at a time from an already-visited
+        frontier; returns the newly reached vertices (marked visited)."""
+        indptr, indices = self.indptr, self.indices
+        queue = frontier.tolist()
+        head = 0
+        found: list[int] = []
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            for u in indices[indptr[v] : indptr[v + 1]].tolist():
+                if unvisited[u]:
+                    unvisited[u] = False
+                    found.append(u)
+                    queue.append(u)
+        return np.asarray(found, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Subset kernels

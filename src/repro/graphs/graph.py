@@ -13,14 +13,17 @@ backends** over the same edge set:
   in :class:`repro.core.peeler.PeelingWorkspace`, BFS/component queries
   restricted to shrinking alive-sets, and the reference ("set" backend)
   implementations of every kernel.
-* **CSR arrays** (``self.csr``) — ``indptr``/``indices`` int64 arrays
-  (:class:`repro.graphs.csr.CSRAdjacency`), built lazily on first access
-  and cached for the graph's lifetime.  The *bulk* kernels run here at
-  numpy speed: :func:`repro.core.decomposition.core_decomposition`
-  (frontier bucket peeling), :func:`repro.core.kcore.kcore_of_subset`
-  (mask peeling), triangle/support counting in
-  :mod:`repro.truss.decomposition`, and the initial degree computation of
-  :class:`~repro.core.peeler.PeelingWorkspace`.
+* **CSR arrays** (``self.csr``) — flat ``indptr``/``indices`` arrays
+  (:class:`repro.graphs.csr.CSRAdjacency`; indices int32 on any graph an
+  int32 can index), built lazily on first access and cached for the
+  graph's lifetime.  The *bulk* kernels run here at numpy speed:
+  :func:`repro.core.decomposition.core_decomposition` (frontier bucket
+  peeling), :func:`repro.core.kcore.kcore_of_subset` (mask peeling),
+  triangle/support counting in :mod:`repro.truss.decomposition`, the
+  initial degree computation of
+  :class:`~repro.core.peeler.PeelingWorkspace`, and the candidate
+  expansion of Algorithms 1/2
+  (:mod:`repro.influential.expansion_csr`).
 
 Which backend a kernel uses is controlled by its ``backend=`` keyword and
 the ambient default in :mod:`repro.graphs.backend` (``"csr"`` unless
@@ -182,7 +185,7 @@ class Graph:
 
     @property
     def csr(self) -> CSRAdjacency:
-        """The CSR backend: flat ``indptr``/``indices`` int64 arrays.
+        """The CSR backend: flat ``indptr``/``indices`` arrays.
 
         Built lazily on first access (one O(m log m) lexsort flattening)
         and cached for the graph's lifetime; derived graphs share the

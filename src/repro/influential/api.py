@@ -70,16 +70,21 @@ def top_r_communities(
 
     ``backend`` selects the graph-kernel backend ("set" or "csr"; "auto"
     keeps the ambient default) for every kernel the chosen solver runs —
-    see :mod:`repro.graphs.backend`.  Both backends return identical
-    results; "set" exists for parity checking and debugging.
+    see :mod:`repro.graphs.backend` — including the candidate-expansion
+    engine of Algorithms 1 and 2 (:mod:`repro.influential.expansion` vs
+    :mod:`repro.influential.expansion_csr`).  Both backends return
+    identical results; "set" exists for parity checking and debugging.
     """
     spec = ProblemSpec.create(k, r, f, s, non_overlapping)
     spec.validate_for(graph)
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; expected one of {METHODS}")
-    with use_backend(backend):
+    # The explicit backend= is passed to the solvers that have their own
+    # engine switch *and* scoped ambiently, so kernels reached without an
+    # explicit argument (components, truss peels, strategies) follow too.
+    with use_backend(backend) as resolved:
         return _dispatch(
-            graph, spec, method, eps, greedy, seed_order, rng_seed
+            graph, spec, method, eps, greedy, seed_order, rng_seed, resolved
         )
 
 
@@ -91,6 +96,7 @@ def _dispatch(
     greedy: bool,
     seed_order: str | None,
     rng_seed: int | None,
+    backend: str = "auto",
 ) -> ResultSet:
     aggregator = spec.f
     k, r, s = spec.k, spec.r, spec.s
@@ -117,7 +123,7 @@ def _dispatch(
             return tonic_sum_unconstrained(graph, k, r, aggregator)
         if spec.size_constrained:
             raise SolverError("Algorithm 1 solves the size-unconstrained problem")
-        return sum_naive(graph, k, r, aggregator)
+        return sum_naive(graph, k, r, aggregator, backend=backend)
 
     if method == "improved" or method == "approx":
         if non_overlapping:
@@ -125,17 +131,17 @@ def _dispatch(
         if spec.size_constrained:
             raise SolverError("Algorithm 2 solves the size-unconstrained problem")
         use_eps = eps if method == "approx" else 0.0
-        return tic_improved(graph, k, r, aggregator, eps=use_eps)
+        return tic_improved(graph, k, r, aggregator, eps=use_eps, backend=backend)
 
     if method == "local":
         bound = spec.effective_size_bound(graph)
         return local_search(
             graph, k, r, bound, aggregator,
             greedy=greedy, non_overlapping=non_overlapping,
-            seed_order=seed_order, rng_seed=rng_seed,
+            seed_order=seed_order, rng_seed=rng_seed, backend=backend,
         )
 
-    return _auto_dispatch(graph, spec, eps, greedy, seed_order, rng_seed)
+    return _auto_dispatch(graph, spec, eps, greedy, seed_order, rng_seed, backend)
 
 
 def _auto_dispatch(
@@ -145,6 +151,7 @@ def _auto_dispatch(
     greedy: bool,
     seed_order: str | None,
     rng_seed: int | None,
+    backend: str = "auto",
 ) -> ResultSet:
     aggregator, k, r = spec.f, spec.k, spec.r
 
@@ -162,7 +169,7 @@ def _auto_dispatch(
         if aggregator.decreases_under_removal:
             if spec.non_overlapping:
                 return tonic_sum_unconstrained(graph, k, r, aggregator)
-            return tic_improved(graph, k, r, aggregator, eps=eps)
+            return tic_improved(graph, k, r, aggregator, eps=eps, backend=backend)
         # NP-hard unconstrained (avg, densities): the paper's recourse is
         # local search with s = |V| (Sections III/V).
 
@@ -170,5 +177,5 @@ def _auto_dispatch(
     return local_search(
         graph, k, r, bound, aggregator,
         greedy=greedy, non_overlapping=spec.non_overlapping,
-        seed_order=seed_order, rng_seed=rng_seed,
+        seed_order=seed_order, rng_seed=rng_seed, backend=backend,
     )

@@ -26,24 +26,84 @@ the parent's XORed with the removed tokens, so neither costs a walk over
 the child.  ``min_removal_loss`` additionally gives solvers a lower bound
 on the value lost by deleting a vertex, letting them skip generating
 children that cannot beat the current pruning threshold.
+
+This module is the *set engine* and the shared vocabulary
+(:class:`ChildCandidate`, the value/representation helpers, the
+:func:`expansion_context` factory).  Its array twin is
+:mod:`repro.influential.expansion_csr`, which runs the same lattice
+expansion over a component-local CSR; the factory picks between them via
+the ``backend=`` switch, and the parity property suite keeps the two
+bit-identical — the set engine is the oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.aggregators.base import Aggregator
+from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
+from repro.influential.community import Community
 from repro.utils.zobrist import ZobristHasher
+
+
+def sum_alpha_of(aggregator: Aggregator) -> float | None:
+    """Per-vertex surcharge of a sum-family aggregator, or None.
+
+    ``0.0`` for plain sum, the aggregator's alpha for sum-surplus, None for
+    everything else (no cheap incremental value update exists).
+    """
+    if aggregator.name == "sum":
+        return 0.0
+    if aggregator.name.startswith("sum-surplus"):
+        return float(getattr(aggregator, "alpha", 0.0))
+    return None
+
+
+def removal_loss(weights, removed_sorted) -> float:
+    """Total weight of ``removed_sorted`` by sequential accumulation in
+    ascending vertex order.
+
+    Both expansion backends compute child values through this one helper so
+    the floating-point rounding — and therefore every downstream value
+    comparison and result set — is bit-identical across backends.
+    """
+    total = 0.0
+    for u in removed_sorted:
+        total += float(weights[u])
+    return total
+
+
+def members_frozenset(members) -> frozenset[int]:
+    """Plain-int frozenset view of either community representation
+    (``frozenset`` from the set backend, ``MemberArray`` from the CSR
+    backend)."""
+    if isinstance(members, frozenset):
+        return members
+    return members.to_frozenset()
 
 
 @dataclass(frozen=True)
 class ChildCandidate:
-    """One expansion product: vertex set, influence value, Zobrist hash."""
+    """One expansion product: vertex set, influence value, Zobrist hash.
 
-    vertices: frozenset[int]
+    ``vertices`` is a ``frozenset`` under the set backend and a sorted
+    int32 :class:`~repro.influential.expansion_csr.MemberArray` under the
+    CSR backend; both are hashable and equality-comparable, so solvers
+    treat them uniformly and only convert at the result boundary via
+    :meth:`to_community`.
+    """
+
+    vertices: "frozenset[int] | object"
     value: float
     key: int
+
+    def to_community(self, aggregator_name: str, k: int) -> Community:
+        """The frozenset-backed result object (the boundary conversion)."""
+        return Community(
+            members_frozenset(self.vertices), self.value, aggregator_name, k
+        )
 
 
 class ExpansionContext:
@@ -94,12 +154,7 @@ class ExpansionContext:
         self.weights = graph.weights
         # Sum-family detection for incremental values: alpha is the
         # per-vertex surcharge (0 for plain sum, None for non-sum-family).
-        if aggregator.name == "sum":
-            self._sum_alpha: float | None = 0.0
-        elif aggregator.name.startswith("sum-surplus"):
-            self._sum_alpha = float(getattr(aggregator, "alpha", 0.0))
-        else:
-            self._sum_alpha = None
+        self._sum_alpha = sum_alpha_of(aggregator)
 
     def min_removal_loss(self, v: int) -> float:
         """A lower bound on ``f(component) - f(child)`` over all children
@@ -114,11 +169,15 @@ class ExpansionContext:
         return float(self.weights[v]) + self._sum_alpha
 
     def _value_of(self, child: frozenset[int], removed: set[int]) -> float:
-        """Child influence value, incrementally for the sum family."""
+        """Child influence value, incrementally for the sum family.
+
+        Non-incremental evaluation walks the members in ascending id order
+        (not frozenset order) so both engines sum in the same sequence and
+        return bit-identical floats.
+        """
         if self._sum_alpha is None:
-            return self.aggregator.value(self.graph, child)
-        weights = self.weights
-        lost = float(sum(weights[u] for u in removed))
+            return self.aggregator.value(self.graph, sorted(child))
+        lost = removal_loss(self.weights, sorted(removed))
         return self.parent_value - lost - self._sum_alpha * len(removed)
 
     def _key_of(self, removed: set[int]) -> int:
@@ -128,6 +187,30 @@ class ExpansionContext:
         for u in removed:
             key = hasher.toggle(key, u)
         return key
+
+    def expand(self, floor=float("-inf")) -> Iterator[ChildCandidate]:
+        """All children of the component, one removal at a time.
+
+        Vertices are visited in ascending id order; per vertex, children
+        come out in the order of :meth:`children_after_removal`.  ``floor``
+        is a value prefilter: removals whose cheapest possible child
+        (:meth:`min_removal_loss`) already falls below it generate nothing.
+        It may be a float or a zero-argument callable (e.g. the bound
+        method ``TopR.threshold``) — a callable is re-read per removal, so
+        a threshold that tightens while children are consumed keeps
+        pruning mid-batch.  A callable floor must be non-decreasing across
+        calls (pruning bounds only tighten): the CSR engine prefilters the
+        whole batch against the first reading, so a floor that later
+        *dropped* would prune differently there.  The floor is
+        conservative either way; callers must still re-check each child
+        against their current bound.
+        """
+        floor_now = floor if callable(floor) else (lambda: floor)
+        parent_value = self.parent_value
+        for v in sorted(self.component):
+            if parent_value - self.min_removal_loss(v) < floor_now():
+                continue
+            yield from self.children_after_removal(v)
 
     def children_after_removal(self, v: int) -> list[ChildCandidate]:
         """Connected k-core components of ``component - {v}`` with values."""
@@ -172,6 +255,61 @@ class ExpansionContext:
                 )
             )
         return children
+
+
+def community_members(
+    vertices: Iterable[int], hasher: ZobristHasher, backend: str = "auto"
+) -> tuple[object, int]:
+    """Backend-appropriate community representation plus its Zobrist key.
+
+    ``frozenset`` under the set backend, a sorted int32
+    :class:`~repro.influential.expansion_csr.MemberArray` under CSR.  Both
+    are hashable with Zobrist-consistent keys, so solver bookkeeping
+    (dedupers, confirmed sets, expansion maps) is representation-agnostic.
+    """
+    if resolve_backend(backend) == "csr":
+        from repro.influential.expansion_csr import MemberArray
+
+        members = MemberArray.from_iterable(vertices, hasher)
+        return members, members.key
+    members = frozenset(vertices)
+    return members, hasher.hash_set(members)
+
+
+def expansion_context(
+    graph: Graph,
+    members,
+    k: int,
+    aggregator: Aggregator,
+    parent_value: float,
+    hasher: ZobristHasher,
+    parent_key: int | None = None,
+    backend: str = "auto",
+):
+    """Build the expansion engine for ``members`` on the resolved backend.
+
+    ``members`` may be either representation; it is normalised to what the
+    chosen engine expects, so solvers can hand over whatever they carry.
+    Returns :class:`ExpansionContext` (set) or
+    :class:`~repro.influential.expansion_csr.CSRExpansionContext` (csr);
+    the two expose the same ``expand`` / ``children_after_removal`` /
+    ``min_removal_loss`` surface and produce bit-identical children.
+    """
+    if resolve_backend(backend) == "csr":
+        from repro.influential.expansion_csr import CSRExpansionContext
+
+        return CSRExpansionContext(
+            graph, members, k, aggregator, parent_value, hasher, parent_key
+        )
+    return ExpansionContext(
+        graph,
+        members_frozenset(members),
+        k,
+        aggregator,
+        parent_value,
+        hasher,
+        parent_key,
+    )
 
 
 def _split_components(

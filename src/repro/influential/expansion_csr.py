@@ -1,0 +1,377 @@
+"""CSR-native expansion engine: the search-lattice hot loop on flat arrays.
+
+Algorithms 1 (SUM-NAIVE) and 2 (TIC-IMPROVED) spend their time generating
+the children of a popped community ``C`` — the connected k-core components
+of ``C \\ {v}`` for each ``v`` (Alg. 1 Lines 4-7, Alg. 2 Lines 11-13).  The
+set-backend :class:`~repro.influential.expansion.ExpansionContext` does
+this over dict/set structures; this module is the vectorised rewrite.  A
+popped component is relabelled once into the dense local id space
+``0..c-1`` and every per-removal operation then runs over numpy arrays.
+
+Mapping from the paper's pseudocode to the arrays held here
+(``i`` is the local id of the removed vertex ``v = members.ids[i]``):
+
+=====================================  ====================================
+pseudocode step                        array operation
+=====================================  ====================================
+"for each vertex v in C"               ``np.flatnonzero(eligible)`` — the
+(Alg. 1 L4, Alg. 2 L11)                value prefilter of ``expand`` is one
+                                       vectorised comparison instead of a
+                                       per-vertex Python check
+"compute the k-core of C - {v}"        fast path: no neighbour of ``i`` has
+(Alg. 1 L5, Alg. 2 L12's re-core)      induced degree k (``has_weak``) and
+                                       ``i`` is not an articulation vertex
+                                       (``articulation``) — the child is
+                                       literally ``np.delete(ids, i)``;
+                                       slow path: mask-peel cascade via
+                                       :meth:`CSRAdjacency.peel_to_kcore`
+                                       on the component-local CSR
+"split into connected components"      :meth:`CSRAdjacency.components_of_
+(Alg. 1 L5, Alg. 2 L12)                mask` frontier BFS over local ids
+"f(H) for each child H"                sum family: ``parent_value`` minus
+(Alg. 1 L6, Alg. 2 L13's f(H))         the removed weights, accumulated in
+                                       ascending id order by the shared
+                                       ``removal_loss`` helper so values
+                                       are bit-identical to the set engine
+duplicate detection                    Zobrist keys carried incrementally:
+(Alg. 2's candidate list L)            ``parent_key ^ xor(tokens[removed])``
+
+Candidate communities stay sorted int32 :class:`MemberArray` instances all
+the way through the solver frontier; the frozenset-backed
+:class:`~repro.influential.community.Community` is only materialised at
+the result boundary (``ChildCandidate.to_community``).  On a G(50k, 400k)
+random graph this engine is the difference between seconds and minutes per
+query — see ``benchmarks/bench_solvers.py`` / ``BENCH_solver_expansion.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+from repro.graphs.csr import CSRAdjacency
+from repro.graphs.graph import Graph
+from repro.influential.expansion import (
+    ChildCandidate,
+    removal_loss,
+    sum_alpha_of,
+)
+from repro.utils.zobrist import ZobristHasher
+
+__all__ = ["MemberArray", "CSRExpansionContext"]
+
+
+class MemberArray:
+    """A candidate community as a sorted int32 global-id array.
+
+    Hash is the community's Zobrist key (consistent with equality: equal
+    vertex sets always hash identically under one hasher; colliding keys
+    are resolved by exact array comparison), so instances drop into the
+    same dicts/sets/dedupers the set backend uses for frozensets.
+    """
+
+    __slots__ = ("ids", "key")
+
+    def __init__(self, ids: np.ndarray, key: int) -> None:
+        self.ids = ids
+        self.key = key
+
+    @classmethod
+    def from_iterable(
+        cls, vertices: Iterable[int], hasher: ZobristHasher
+    ) -> "MemberArray":
+        """Sorted id array plus from-scratch Zobrist key."""
+        if isinstance(vertices, MemberArray):
+            return vertices
+        ids = np.fromiter(vertices, dtype=np.int64)
+        ids.sort()
+        if ids.size == 0 or ids[-1] <= np.iinfo(np.int32).max:
+            ids = ids.astype(np.int32)
+        return cls(ids, hasher.hash_members(ids))
+
+    def __len__(self) -> int:
+        return self.ids.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ids.tolist())
+
+    def __hash__(self) -> int:
+        return self.key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemberArray):
+            return NotImplemented
+        return self.ids.size == other.ids.size and bool(
+            np.array_equal(self.ids, other.ids)
+        )
+
+    def to_frozenset(self) -> frozenset[int]:
+        """Boundary conversion to the frozenset representation."""
+        return frozenset(self.ids.tolist())
+
+    def __repr__(self) -> str:
+        return f"MemberArray(size={self.ids.size}, key={self.key:#x})"
+
+
+class CSRExpansionContext:
+    """Per-component expansion state over a component-local CSR.
+
+    The drop-in array twin of
+    :class:`~repro.influential.expansion.ExpansionContext`: same
+    constructor shape, same ``expand`` / ``children_after_removal`` /
+    ``min_removal_loss`` surface, children carrying identical values and
+    Zobrist keys — the property suite holds the two in lockstep.
+    """
+
+    __slots__ = (
+        "graph",
+        "k",
+        "members",
+        "aggregator",
+        "parent_value",
+        "parent_key",
+        "hasher",
+        "local",
+        "degree",
+        "local_weights",
+        "local_tokens",
+        "has_weak",
+        "_articulation",
+        "_sum_alpha",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        members,
+        k: int,
+        aggregator: Aggregator,
+        parent_value: float,
+        hasher: ZobristHasher,
+        parent_key: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.members = MemberArray.from_iterable(members, hasher)
+        self.aggregator = aggregator
+        self.parent_value = parent_value
+        self.hasher = hasher
+        self.parent_key = (
+            parent_key if parent_key is not None else self.members.key
+        )
+        ids64 = self.members.ids.astype(np.int64)
+        local = graph.csr.induced_local(ids64)
+        self.local = local
+        self.degree = local.degrees()
+        self.local_weights = graph.weights[ids64]
+        self.local_tokens = hasher.tokens[ids64]
+        # One vectorised pass computes, for every vertex, whether any
+        # neighbour sits at induced degree exactly k (= removal cascades).
+        c = ids64.size
+        owners = np.repeat(
+            np.arange(c, dtype=np.int64), np.diff(local.indptr)
+        )
+        weak_edge = self.degree[local.indices] == k
+        self.has_weak = np.bincount(owners[weak_edge], minlength=c) > 0
+        # Articulation detection is the one per-component cost that cannot
+        # be a numpy reduction; it is computed lazily because value-pruned
+        # expansions (the steady state of Algorithm 2) never need it.
+        self._articulation: np.ndarray | None = None
+        self._sum_alpha = sum_alpha_of(aggregator)
+
+    # ------------------------------------------------------------------
+    # Solver surface (global vertex ids, mirroring ExpansionContext)
+    # ------------------------------------------------------------------
+    @property
+    def component(self) -> frozenset[int]:
+        """Frozenset view of the component (debug/test convenience)."""
+        return self.members.to_frozenset()
+
+    @property
+    def articulation(self) -> np.ndarray:
+        """Boolean mask over local ids: True at articulation vertices."""
+        if self._articulation is None:
+            self._articulation = _articulation_mask(
+                self.local.indptr, self.local.indices
+            )
+        return self._articulation
+
+    def min_removal_loss(self, v: int) -> float:
+        """Lower bound on ``f(component) - f(child)`` for removals of ``v``
+        (same contract and arithmetic as the set engine)."""
+        if self._sum_alpha is None:
+            return 0.0
+        return float(self.graph.weights[v]) + self._sum_alpha
+
+    def children_after_removal(self, v: int) -> list[ChildCandidate]:
+        """Connected k-core components of ``component - {v}`` with values."""
+        ids = self.members.ids
+        i = int(np.searchsorted(ids, v))
+        if i >= ids.size or ids[i] != v:
+            raise KeyError(f"vertex {v} is not in the component")
+        if not self.has_weak[i] and not self.articulation[i]:
+            if ids.size - 1 <= self.k:
+                return []
+            return [self._fast_child(i)]
+        return self._cascade_children(i)
+
+    def expand(self, floor=float("-inf")) -> Iterator[ChildCandidate]:
+        """All children of the component in one batched pass.
+
+        Vertex order and per-child output order match the set engine's
+        ``expand`` exactly, including the float-or-callable ``floor``
+        contract (a callable floor must be non-decreasing across calls —
+        see the set engine's docstring).  The initial prefilter, child
+        values and child keys for fast-path removals are computed as
+        whole-component vectors up front; a callable floor is then
+        re-read per surviving removal (one scalar comparison) so a
+        threshold that tightens mid-batch keeps pruning — only removals
+        that clear the live bound materialise arrays.
+        """
+        ids = self.members.ids
+        c = ids.size
+        if c == 0:
+            return
+        floor_now = floor if callable(floor) else (lambda: floor)
+        parent_value = self.parent_value
+        start_floor = floor_now()
+        if self._sum_alpha is not None:
+            # Vectorised twin of the per-vertex min_removal_loss prefilter.
+            losses = self.local_weights + self._sum_alpha
+            eligible = np.flatnonzero(parent_value - losses >= start_floor)
+        elif parent_value - 0.0 < start_floor:
+            return
+        else:
+            losses = None
+            eligible = np.arange(c, dtype=np.int64)
+        if eligible.size == 0:
+            return
+        articulation = self.articulation
+        has_weak = self.has_weak
+        small = c - 1 <= self.k
+        loss_list = losses[eligible].tolist() if losses is not None else None
+        for pos, i in enumerate(eligible.tolist()):
+            if loss_list is not None:
+                if parent_value - loss_list[pos] < floor_now():
+                    continue
+            elif parent_value < floor_now():
+                return
+            if has_weak[i] or articulation[i]:
+                yield from self._cascade_children(i)
+            elif not small:
+                yield self._fast_child(i)
+
+    # ------------------------------------------------------------------
+    # Child construction
+    # ------------------------------------------------------------------
+    def _fast_child(self, i: int) -> ChildCandidate:
+        """No cascade, still connected: the child is ``C`` minus one id."""
+        ids = self.members.ids
+        key = self.parent_key ^ int(self.local_tokens[i])
+        child = MemberArray(np.delete(ids, i), key)
+        if self._sum_alpha is None:
+            # Ascending member order, like the set engine's _value_of, so
+            # the float summation sequence (and result) is identical.
+            value = self.aggregator.value(self.graph, child.ids.tolist())
+        else:
+            # Same expression shape as the set engine's _value_of:
+            # (parent - lost) - alpha * |removed|, with |removed| = 1.
+            lost = float(self.local_weights[i])
+            value = self.parent_value - lost - self._sum_alpha * 1
+        return ChildCandidate(child, value, key)
+
+    def _cascade_children(self, i: int) -> list[ChildCandidate]:
+        """Localised cascade peel plus survivor split, all on local ids."""
+        local, k = self.local, self.k
+        c = self.members.ids.size
+        mask = np.ones(c, dtype=bool)
+        mask[i] = False
+        degrees = self.degree.copy()
+        degrees[local.neighbors(i)] -= 1
+        local.peel_to_kcore(mask, k, degrees=degrees)
+        survivors = np.flatnonzero(mask)
+        if survivors.size <= k:
+            return []
+        pieces = local.components_of_mask(mask)
+        removed_all = np.flatnonzero(~mask)
+        ids = self.members.ids
+        children = []
+        for piece in pieces:
+            if len(pieces) == 1:
+                piece_removed = removed_all
+            else:
+                complement = np.ones(c, dtype=bool)
+                complement[piece] = False
+                piece_removed = np.flatnonzero(complement)
+            removed_global = ids[piece_removed]
+            key = self.hasher.toggle_many(self.parent_key, removed_global)
+            child = MemberArray(ids[piece], key)
+            if self._sum_alpha is None:
+                value = self.aggregator.value(self.graph, child.ids.tolist())
+            else:
+                lost = removal_loss(self.graph.weights, removed_global)
+                value = (
+                    self.parent_value
+                    - lost
+                    - self._sum_alpha * len(piece_removed)
+                )
+            children.append(ChildCandidate(child, value, key))
+        return children
+
+
+def _articulation_mask(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Articulation vertices of a local CSR graph, as a boolean mask.
+
+    The same iterative Tarjan lowpoint walk as the set engine, but over the
+    flat CSR arrays with an explicit per-vertex edge cursor instead of
+    per-frame neighbour iterators.  The arrays are converted to Python
+    lists once: the walk is inherently sequential, and list indexing beats
+    numpy scalar indexing several-fold in that regime.
+    """
+    n = len(indptr) - 1
+    ip = indptr.tolist()
+    idx = indices.tolist()
+    visited = bytearray(n)
+    articulation = bytearray(n)
+    depth = [0] * n
+    low = [0] * n
+    parent = [-1] * n
+    cursor = list(ip[:n])
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = 1
+        root_children = 0
+        stack = [root]
+        while stack:
+            v = stack[-1]
+            e = cursor[v]
+            if e < ip[v + 1]:
+                cursor[v] = e + 1
+                u = idx[e]
+                if u == parent[v]:
+                    continue
+                if visited[u]:
+                    if depth[u] < low[v]:
+                        low[v] = depth[u]
+                else:
+                    visited[u] = 1
+                    parent[u] = v
+                    depth[u] = depth[v] + 1
+                    low[u] = depth[u]
+                    if v == root:
+                        root_children += 1
+                    stack.append(u)
+            else:
+                stack.pop()
+                p = parent[v]
+                if p != -1:
+                    if low[v] < low[p]:
+                        low[p] = low[v]
+                    if p != root and low[v] >= depth[p]:
+                        articulation[p] = 1
+        if root_children > 1:
+            articulation[root] = 1
+    return np.frombuffer(bytes(articulation), dtype=bool)

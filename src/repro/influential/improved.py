@@ -19,7 +19,14 @@ output satisfies Definition 8: the r-th reported value is at least
 ``(1 - eps)`` times the exact r-th value (Theorem 6).  Children are
 de-duplicated with an incremental Zobrist hash — different deletion orders
 frequently regenerate the same community — and generated through the
-articulation-aware fast path of :mod:`repro.influential.expansion`.
+batched ``expand`` pass of the backend-selected engine
+(:func:`repro.influential.expansion.expansion_context`): the Line 13 bound
+at the start of the batch is handed to the engine as a vectorised
+prefilter, and the evolving bound is still re-checked per child, so the
+output is independent of the backend.  Candidates stay in the engine's
+native representation (frozensets, or sorted int32 arrays under the CSR
+engine of :mod:`repro.influential.expansion_csr`) until the result
+boundary.
 
 Complexity: O(r * n * (n + m)) as analysed in the paper.
 """
@@ -31,9 +38,14 @@ from repro.aggregators.registry import get_aggregator
 from repro.aggregators.summation import Sum
 from repro.core.kcore import connected_kcore_components
 from repro.errors import SolverError
+from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
-from repro.influential.community import Community, community_from_vertices
-from repro.influential.expansion import ExpansionContext
+from repro.influential.community import Community
+from repro.influential.expansion import (
+    ChildCandidate,
+    community_members,
+    expansion_context,
+)
 from repro.influential.results import ResultSet
 from repro.utils.heaps import LazyMaxHeap
 from repro.utils.topr import TopR
@@ -46,11 +58,14 @@ def tic_improved(
     r: int,
     f: "str | Aggregator | None" = None,
     eps: float = 0.0,
+    backend: str = "auto",
 ) -> ResultSet:
     """Top-r size-unconstrained communities via best-first search.
 
     ``eps = 0`` gives the exact "Improve" variant; ``eps > 0`` the
     "Approx" variant with the Theorem 6 guarantee (paper default 0.1).
+    ``backend`` selects the expansion engine (see
+    :mod:`repro.graphs.backend`); both produce identical results.
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -63,28 +78,33 @@ def tic_improved(
         raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
     if not 0.0 <= eps < 1.0:
         raise SolverError(f"approximation ratio eps must be in [0, 1), got {eps}")
+    resolved = resolve_backend(backend)
 
     # Lines 1-2: seed the candidate heap with the k-core components.
-    # Heap payloads carry (community, zobrist_key) so expansion contexts
-    # can derive child keys incrementally.
-    frontier: LazyMaxHeap[tuple[Community, int]] = LazyMaxHeap()
+    # Heap payloads carry (representation, value, zobrist_key) so
+    # expansion contexts can derive child values/keys incrementally.
+    frontier: LazyMaxHeap[ChildCandidate] = LazyMaxHeap()
     hasher = ZobristHasher(graph.n)
     seen = CommunityDeduper(hasher)
     # `candidate_top` tracks the r best candidate values ever generated;
     # its threshold is the paper's f(Lr) pruning bound (Line 13).
     candidate_top: TopR[float] = TopR(r, key=lambda v: v)
-    for component in connected_kcore_components(graph, range(graph.n), k):
-        community = community_from_vertices(graph, component, aggregator, k)
-        key = hasher.hash_set(community.vertices)
-        seen.add(community.vertices, key)
-        frontier.push(community.value, (community, key))
-        candidate_top.offer(community.value)
+    for component in connected_kcore_components(
+        graph, range(graph.n), k, backend=resolved
+    ):
+        members, key = community_members(component, hasher, resolved)
+        seen.add(members, key)
+        # Ascending member order keeps the float summation sequence — and
+        # therefore the seed values — identical across backends.
+        value = aggregator.value(graph, sorted(component))
+        frontier.push(value, ChildCandidate(members, value, key))
+        candidate_top.offer(value)
 
-    results: list[Community] = []
-    confirmed: set[frozenset[int]] = set()
+    results: list[ChildCandidate] = []
+    confirmed: set[object] = set()
 
     while frontier and len(results) < r:
-        value, (lmax, lmax_key) = frontier.pop()  # Line 8: best candidate
+        value, lmax = frontier.pop()  # Line 8: best candidate
         if lmax.vertices not in confirmed:
             confirmed.add(lmax.vertices)
             results.append(lmax)
@@ -92,45 +112,42 @@ def tic_improved(
                 break
         lower_bound = (1.0 - eps) * value  # Line 9
 
-        # Lines 11-19: expand Lmax by single-vertex deletions.
-        context = ExpansionContext(
-            graph, lmax.vertices, k, aggregator, value, hasher, lmax_key
+        # Lines 11-19: expand Lmax by single-vertex deletions, batched.
+        # The engine prefilters removals against the Line 13 bound: the
+        # bound as of batch start feeds the vectorised prefilter, and the
+        # live bound (candidate_top.threshold tightens as children are
+        # offered) is re-read per removal; the evolving bound is still
+        # applied per child below.
+        context = expansion_context(
+            graph, lmax.vertices, k, aggregator, value, hasher,
+            lmax.key, backend=resolved,
         )
         prune_at = candidate_top.threshold()
-        for vertex in lmax.members():
-            # Weight-based pre-skip: if even the cheapest possible child
-            # (losing only this vertex) falls below the pruning bound,
-            # no child of this removal can place — skip generating them.
-            if (
-                candidate_top.is_full
-                and value - context.min_removal_loss(vertex) < prune_at
-            ):
+        for child in context.expand(candidate_top.threshold):
+            # Line 13: prune strictly-dominated children — strictly
+            # below the r-th candidate value they can never place.
+            if candidate_top.is_full and child.value < prune_at:
                 continue
-            for child in context.children_after_removal(vertex):
-                # Line 13: prune strictly-dominated children — strictly
-                # below the r-th candidate value they can never place.
-                if candidate_top.is_full and child.value < prune_at:
-                    continue
-                if not seen.add(child.vertices, child.key):
-                    continue
-                community = Community(
-                    child.vertices, child.value, aggregator.name, k
-                )
-                candidate_top.offer(child.value)
-                prune_at = candidate_top.threshold()
-                # Lines 16-17: eps-confirmation of near-maximal children.
-                if (
-                    eps > 0.0
-                    and child.value >= lower_bound
-                    and len(results) < r
-                    and child.vertices not in confirmed
-                ):
-                    confirmed.add(child.vertices)
-                    results.append(community)
-                frontier.push(child.value, (community, child.key))
+            if not seen.add(child.vertices, child.key):
+                continue
+            candidate_top.offer(child.value)
+            prune_at = candidate_top.threshold()
+            # Lines 16-17: eps-confirmation of near-maximal children.
+            if (
+                eps > 0.0
+                and child.value >= lower_bound
+                and len(results) < r
+                and child.vertices not in confirmed
+            ):
+                confirmed.add(child.vertices)
+                results.append(child)
+            frontier.push(child.value, child)
         if eps > 0.0 and len(results) >= r:
             break
-    return ResultSet(results[:r])
+    return ResultSet(
+        candidate.to_community(aggregator.name, k)
+        for candidate in results[:r]
+    )
 
 
 def peel_below_average(
@@ -146,6 +163,11 @@ def peel_below_average(
     extension: repeatedly delete the vertex with the lowest weight from
     the current best component while the average improves, re-coring after
     each deletion, and keep the best r intermediate components seen.
+
+    Component weight sums are carried incrementally down the peel: the
+    current community's sum is inherited from the child sum computed when
+    it was selected, so each round sums each fresh child exactly once
+    instead of re-walking the current community and the winning child.
     """
     from repro.aggregators.average import Average
 
@@ -156,11 +178,13 @@ def peel_below_average(
     weights = graph.weights
     for component in components:
         current = set(component)
+        current_sum = sum(float(weights[v]) for v in sorted(current))
         for __ in range(max_rounds):
-            community = community_from_vertices(graph, current, aggregator, k)
-            if community.vertices not in seen:
-                seen.add(community.vertices)
-                top.offer(community)
+            average = current_sum / len(current)
+            vertices = frozenset(current)
+            if vertices not in seen:
+                seen.add(vertices)
+                top.offer(Community(vertices, average, aggregator.name, k))
             if len(current) <= k + 1:
                 break
             lightest = min(current, key=lambda v: (weights[v], v))
@@ -169,13 +193,18 @@ def peel_below_average(
             children = connected_kcore_components(graph, candidate, k)
             if not children:
                 break
-            # Follow the child with the best average.
-            best_child = max(
-                children, key=lambda c: sum(weights[v] for v in c) / len(c)
-            )
-            if sum(weights[v] for v in best_child) / len(best_child) <= (
-                community.value
-            ):
+            # Follow the child with the best average; each child is summed
+            # once and the winner's sum seeds the next round.
+            best_child: set[int] | None = None
+            best_sum = 0.0
+            best_average = float("-inf")
+            for child in children:
+                child_sum = sum(float(weights[v]) for v in sorted(child))
+                child_average = child_sum / len(child)
+                if child_average > best_average:
+                    best_child, best_sum = child, child_sum
+                    best_average = child_average
+            if best_child is None or best_average <= average:
                 break
-            current = set(best_child)
+            current, current_sum = set(best_child), best_sum
     return ResultSet(top.ranked())

@@ -28,10 +28,14 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.aggregators.base import Aggregator
 from repro.aggregators.registry import get_aggregator
 from repro.core.kcore import maximal_kcore
 from repro.errors import SolverError
+from repro.graphs.backend import resolve_backend
+from repro.graphs.csr import membership_mask
 from repro.graphs.graph import Graph
 from repro.influential.community import Community
 from repro.influential.results import ResultSet
@@ -41,7 +45,11 @@ from repro.utils.topr import TopR
 
 
 def s_nearest_neighbors(
-    graph: Graph, seed: int, s: int, within: set[int]
+    graph: Graph,
+    seed: int,
+    s: int,
+    within: set[int],
+    within_mask: np.ndarray | None = None,
 ) -> list[int]:
     """The first ``s`` vertices (seed included) in BFS order from ``seed``.
 
@@ -49,10 +57,29 @@ def s_nearest_neighbors(
     visits are sorted so the "random" strategy is still deterministic for
     a fixed graph — the randomness the paper contrasts with greedy is the
     *absence of weight sorting*, not nondeterminism.
+
+    ``within_mask``, when provided (the CSR path of :func:`local_search`),
+    is a boolean array equivalent of ``within``: the per-vertex restriction
+    then becomes one vectorised filter of the already-sorted CSR neighbour
+    run instead of a set intersection plus sort, visiting vertices in
+    exactly the same order.
     """
     order = [seed]
     seen = {seed}
     queue = deque([seed])
+    if within_mask is not None:
+        csr = graph.csr
+        while queue and len(order) < s:
+            u = queue.popleft()
+            neigh = csr.neighbors(u)
+            for v in neigh[within_mask[neigh]].tolist():
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    queue.append(v)
+                    if len(order) >= s:
+                        break
+        return order
     adj = graph.adjacency
     while queue and len(order) < s:
         u = queue.popleft()
@@ -82,6 +109,14 @@ def _ordered_seeds(
     return seeds
 
 
+def _alive_mask(graph: Graph, alive: set[int], backend: str) -> np.ndarray | None:
+    """Boolean alive-set view for the CSR neighbour filter, or None for
+    the set backend."""
+    if resolve_backend(backend) != "csr":
+        return None
+    return membership_mask(graph.n, alive)
+
+
 def local_search(
     graph: Graph,
     k: int,
@@ -92,6 +127,7 @@ def local_search(
     non_overlapping: bool = False,
     seed_order: str | None = None,
     rng_seed: int | None = None,
+    backend: str = "auto",
 ) -> ResultSet:
     """Top-r size-constrained k-influential communities (Algorithm 4).
 
@@ -100,6 +136,8 @@ def local_search(
     controls the outer loop: ``"id"`` is the paper's ``i = 1..|V|`` and
     the default for TIC; ``"weight"`` visits heavy seeds first and is the
     default for TONIC; ``"shuffled"`` randomises with ``rng_seed``.
+    ``backend`` selects the graph kernels and the neighbourhood-collection
+    path; both produce identical results.
     """
     aggregator = get_aggregator(f)
     if k < 1 or r < 1:
@@ -110,20 +148,26 @@ def local_search(
         )
     if seed_order is None:
         seed_order = "weight" if non_overlapping else "id"
+    resolved = resolve_backend(backend)
 
-    alive = maximal_kcore(graph, k)  # Line 1
+    alive = maximal_kcore(graph, k, backend=resolved)  # Line 1
     seeds = _ordered_seeds(graph, alive, seed_order, rng_seed)
     strategy = strategy_for(graph, k, s, aggregator, greedy)
     weights = graph.weights
 
     if non_overlapping:
-        return _tonic_local_search(graph, k, r, s, alive, seeds, strategy, greedy)
+        return _tonic_local_search(
+            graph, k, r, s, alive, seeds, strategy, greedy, resolved
+        )
 
+    alive_mask = _alive_mask(graph, alive, resolved)
     top: TopR[Community] = TopR(r, key=lambda c: c.value)
     for seed in seeds:  # Lines 2-7
         if seed not in alive:  # Line 3: "if vi is not removed"
             continue
-        neighbourhood = s_nearest_neighbors(graph, seed, s, alive)  # Line 4
+        neighbourhood = s_nearest_neighbors(
+            graph, seed, s, alive, alive_mask
+        )  # Line 4
         if len(neighbourhood) <= k:
             continue
         if greedy:  # Lines 5-6
@@ -141,6 +185,7 @@ def _tonic_local_search(
     seeds: list[int],
     strategy,
     greedy: bool,
+    backend: str,
 ) -> ResultSet:
     """Non-overlapping variant: accept-and-remove, then keep the best r.
 
@@ -154,12 +199,13 @@ def _tonic_local_search(
 
     weights = graph.weights
     accepted: list[Community] = []
+    alive_mask = _alive_mask(graph, alive, backend)
     for seed in seeds:
         if seed not in alive:
             continue
         # Re-core the survivors around this seed: removals may have left
         # vertices below degree k which must not join candidates.
-        neighbourhood = s_nearest_neighbors(graph, seed, s, alive)
+        neighbourhood = s_nearest_neighbors(graph, seed, s, alive, alive_mask)
         if len(neighbourhood) <= k:
             continue
         if greedy:
@@ -170,5 +216,9 @@ def _tonic_local_search(
             community = slot.best()
             accepted.append(community)
             alive -= community.vertices
-            alive.intersection_update(kcore_of_subset(graph, alive, k))
+            alive.intersection_update(
+                kcore_of_subset(graph, alive, k, backend=backend)
+            )
+            if alive_mask is not None:
+                alive_mask = membership_mask(graph.n, alive)
     return ResultSet(sorted(accepted)[:r])

@@ -18,7 +18,12 @@ nothing, no candidate generated from any retained community can enter the
 top-r, which is exactly the Theorem 5 argument (DESIGN.md Section 5).  The
 vertex/community loops are interchanged (equivalent per sweep) so each
 community's expansion context is built once, and children are generated
-through :mod:`repro.influential.expansion`.
+through the batched ``expand`` pass of the backend-selected engine
+(:func:`repro.influential.expansion.expansion_context`): dict/set walks
+under ``backend="set"``, the flat-array CSR engine of
+:mod:`repro.influential.expansion_csr` under ``backend="csr"``.  Candidate
+communities stay in the engine's native representation (frozensets or
+sorted int32 arrays) until the result boundary.
 
 Complexity: O(n * r * (n + m)) per sweep, as analysed in the paper — the
 point of this baseline is to lose to Algorithm 2, which expands only the
@@ -32,9 +37,13 @@ from repro.aggregators.registry import get_aggregator
 from repro.aggregators.summation import Sum
 from repro.core.kcore import connected_kcore_components
 from repro.errors import SolverError
+from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
-from repro.influential.community import Community, community_from_vertices
-from repro.influential.expansion import ExpansionContext
+from repro.influential.expansion import (
+    ChildCandidate,
+    community_members,
+    expansion_context,
+)
 from repro.influential.results import ResultSet
 from repro.utils.topr import TopR
 from repro.utils.zobrist import CommunityDeduper, ZobristHasher
@@ -46,12 +55,15 @@ def sum_naive(
     r: int,
     f: "str | Aggregator | None" = None,
     max_sweeps: int | None = None,
+    backend: str = "auto",
 ) -> ResultSet:
     """Top-r size-unconstrained k-influential communities (Algorithm 1).
 
     ``f`` defaults to sum; any decreasing-under-removal aggregator works
     (the paper's Discussion paragraph names sum-surplus).  ``max_sweeps``
     caps the fixpoint iteration for diagnostics; None runs to convergence.
+    ``backend`` selects the expansion engine (see
+    :mod:`repro.graphs.backend`); both produce identical results.
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -62,43 +74,46 @@ def sum_naive(
         )
     if k < 1 or r < 1:
         raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
+    resolved = resolve_backend(backend)
 
     # Lines 1-2: components of the maximal k-core, kept as a top-r list.
-    top: TopR[Community] = TopR(r, key=lambda c: c.value)
+    # Candidates carry (representation, value, key) so expansion contexts
+    # can derive child values and Zobrist keys incrementally.
+    top: TopR[ChildCandidate] = TopR(r, key=lambda c: c.value)
     hasher = ZobristHasher(graph.n)
     seen = CommunityDeduper(hasher)
-    keys: dict[frozenset[int], int] = {}
-    for component in connected_kcore_components(graph, range(graph.n), k):
-        community = community_from_vertices(graph, component, aggregator, k)
-        key = hasher.hash_set(community.vertices)
-        seen.add(community.vertices, key)
-        keys[community.vertices] = key
-        top.offer(community)
+    for component in connected_kcore_components(
+        graph, range(graph.n), k, backend=resolved
+    ):
+        members, key = community_members(component, hasher, resolved)
+        seen.add(members, key)
+        # Ascending member order keeps the float summation sequence — and
+        # therefore the seed values — identical across backends.
+        value = aggregator.value(graph, sorted(component))
+        top.offer(ChildCandidate(members, value, key))
 
     # Lines 3-10, iterated to a fixpoint.  Each sweep expands every vertex
     # of every retained community exactly once — the naive full scan.
-    expanded: set[frozenset[int]] = set()
+    expanded: set[object] = set()
     sweeps = 0
     changed = True
     while changed and (max_sweeps is None or sweeps < max_sweeps):
         changed = False
         sweeps += 1
-        for community in top.ranked():
-            if community.vertices in expanded:
+        for candidate in top.ranked():
+            if candidate.vertices in expanded:
                 continue
-            expanded.add(community.vertices)
-            context = ExpansionContext(
-                graph, community.vertices, k, aggregator,
-                community.value, hasher, keys.get(community.vertices),
+            expanded.add(candidate.vertices)
+            context = expansion_context(
+                graph, candidate.vertices, k, aggregator,
+                candidate.value, hasher, candidate.key, backend=resolved,
             )
-            for vertex in community.members():
-                for child in context.children_after_removal(vertex):
-                    if not seen.add(child.vertices, child.key):
-                        continue
-                    keys[child.vertices] = child.key
-                    offered = Community(
-                        child.vertices, child.value, aggregator.name, k
-                    )
-                    if top.offer(offered):
-                        changed = True
-    return ResultSet(top.ranked())
+            for child in context.expand():
+                if not seen.add(child.vertices, child.key):
+                    continue
+                if top.offer(child):
+                    changed = True
+    return ResultSet(
+        candidate.to_community(aggregator.name, k)
+        for candidate in top.ranked()
+    )

@@ -33,9 +33,21 @@ class ZobristHasher:
         self._tokens = rng.integers(
             0, np.iinfo(_TOKEN_DTYPE).max, size=n, dtype=_TOKEN_DTYPE
         )
+        # A write anywhere in this array would silently desynchronise the
+        # incremental keys (toggle/toggle_many) from hash_set.
+        self._tokens.setflags(write=False)
 
     def __len__(self) -> int:
         return len(self._tokens)
+
+    @property
+    def tokens(self) -> np.ndarray:
+        """The raw uint64 token array (read-only; index by vertex id).
+
+        Exposed so vectorised callers (the CSR expansion engine) can gather
+        per-vertex tokens without a Python loop.
+        """
+        return self._tokens
 
     def token(self, vertex: int) -> int:
         """The fixed 64-bit token of ``vertex``."""
@@ -49,10 +61,26 @@ class ZobristHasher:
             h ^= int(tokens[v])
         return h
 
+    def hash_members(self, vertices: np.ndarray) -> int:
+        """Vectorised :meth:`hash_set` over an integer id array.
+
+        XOR is associative/commutative and exact on integers, so the numpy
+        reduction returns bit-identical keys to the Python loop.
+        """
+        if vertices.size == 0:
+            return 0
+        return int(np.bitwise_xor.reduce(self._tokens[vertices]))
+
     def toggle(self, current: int, vertex: int) -> int:
         """Hash after adding-or-removing ``vertex`` from a set hashed as
         ``current`` (XOR is its own inverse, so add and remove coincide)."""
         return current ^ int(self._tokens[vertex])
+
+    def toggle_many(self, current: int, vertices: np.ndarray) -> int:
+        """Vectorised :meth:`toggle` over an id array (XOR all tokens in)."""
+        if vertices.size == 0:
+            return current
+        return current ^ int(np.bitwise_xor.reduce(self._tokens[vertices]))
 
 
 class CommunityDeduper:

@@ -157,3 +157,71 @@ def test_backend_registry():
         resolve_backend("bogus")
     with pytest.raises(GraphError):
         set_default_backend("bogus")
+
+
+def test_index_dtype_is_int32_with_overflow_guard():
+    # Every realistic graph stores neighbour ids as int32 (half the memory
+    # traffic of int64 gathers); the guard keeps int64 for vertex counts
+    # that int32 cannot index.
+    assert CSRAdjacency._index_dtype(0) == np.int32
+    assert CSRAdjacency._index_dtype(50_000) == np.int32
+    assert CSRAdjacency._index_dtype(np.iinfo(np.int32).max) == np.int32
+    assert CSRAdjacency._index_dtype(np.iinfo(np.int32).max + 1) == np.int64
+    assert CSRAdjacency._index_dtype(1 << 40) == np.int64
+
+
+def test_indices_stored_as_int32():
+    graph = gnm_random_graph(200, 800, seed=9)
+    csr = graph.csr
+    assert csr.indices.dtype == np.int32
+    # indptr stays int64: its entries are cumulative edge counts that reach
+    # 2m and would overflow int32 long before indices values do.
+    assert csr.indptr.dtype == np.int64
+    # Primitives keep working over the narrow dtype.
+    degrees = csr.degrees()
+    assert int(degrees.sum()) == 2 * graph.m
+    neigh = csr.gather(np.arange(graph.n))
+    assert neigh.dtype == np.int32
+    assert neigh.size == 2 * graph.m
+
+
+def test_induced_local_relabels_and_sorts():
+    graph = graph_from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4), (5, 6)]
+    )
+    members = np.asarray([2, 3, 4, 6], dtype=np.int64)
+    local = graph.csr.induced_local(members)
+    assert local.n == 4
+    # local ids 0,1,2 are global 2,3,4 forming a triangle; 6 is isolated.
+    assert local.neighbors(0).tolist() == [1, 2]
+    assert local.neighbors(1).tolist() == [0, 2]
+    assert local.neighbors(2).tolist() == [0, 1]
+    assert local.neighbors(3).tolist() == []
+    # Tiny subset of a large graph exercises the searchsorted branch.
+    big = gnm_random_graph(500, 2000, seed=3)
+    sub = np.asarray([10, 11, 12, 13], dtype=np.int64)
+    small_local = big.csr.induced_local(sub)
+    adj = big.adjacency
+    for i, v in enumerate(sub.tolist()):
+        expected = sorted(
+            int(np.searchsorted(sub, u)) for u in adj[v] if u in set(sub.tolist())
+        )
+        assert small_local.neighbors(i).tolist() == expected
+
+
+def test_induced_local_empty():
+    graph = graph_from_edges([(0, 1)])
+    local = graph.csr.induced_local(np.asarray([], dtype=np.int64))
+    assert local.n == 0 and local.m == 0
+
+
+def test_components_of_mask_matches_set_split():
+    graph = graph_from_edges(
+        [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (5, 7)], n=9
+    )
+    mask = np.ones(9, dtype=bool)
+    mask[4] = False
+    pieces = graph.csr.components_of_mask(mask)
+    assert [p.tolist() for p in pieces] == [[0, 1, 2], [3], [5, 6, 7], [8]]
+    # mask must not be consumed
+    assert mask.sum() == 8

@@ -10,12 +10,20 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.aggregators.registry import get_aggregator
 from repro.core.decomposition import core_decomposition
-from repro.core.kcore import kcore_of_subset, maximal_kcore
+from repro.core.kcore import (
+    connected_kcore_components,
+    kcore_of_subset,
+    maximal_kcore,
+)
 from repro.core.peeler import PeelingWorkspace
 from repro.graphs.builder import graph_from_edges
+from repro.graphs.components import connected_components_of
 from repro.influential.api import top_r_communities
+from repro.influential.expansion import expansion_context, members_frozenset
 from repro.truss.decomposition import edge_supports, truss_decomposition
+from repro.utils.zobrist import ZobristHasher
 
 AGGREGATORS = ("sum", "avg", "min", "max")
 
@@ -72,6 +80,102 @@ def test_top_r_parity(graph, k, r):
         assert top_r_communities(
             graph, k, r, f=f, backend="set"
         ) == top_r_communities(graph, k, r, f=f, backend="csr"), f
+
+
+@given(weighted_graphs(), st.integers(0, 4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_connected_components_parity(graph, k, data):
+    subset = data.draw(
+        st.lists(st.integers(0, graph.n - 1), unique=True, max_size=graph.n)
+    )
+    assert connected_components_of(
+        graph, subset, backend="set"
+    ) == connected_components_of(graph, subset, backend="csr")
+
+
+@given(weighted_graphs(min_n=4), st.integers(1, 3), st.sampled_from(
+    ["sum", "sum-surplus(alpha=2)", "avg"]
+))
+@settings(max_examples=50, deadline=None)
+def test_expansion_children_parity(graph, k, f):
+    """The two expansion engines must emit *identical* children — same
+    vertex sets, bit-identical values, equal Zobrist keys — for every
+    removal, both per vertex and through the batched ``expand`` pass."""
+    aggregator = get_aggregator(f)
+    hasher = ZobristHasher(graph.n)
+    for component in connected_kcore_components(graph, range(graph.n), k):
+        value = aggregator.value(graph, frozenset(component))
+        contexts = {
+            backend: expansion_context(
+                graph, frozenset(component), k, aggregator, value,
+                hasher, backend=backend,
+            )
+            for backend in ("set", "csr")
+        }
+        for vertex in sorted(component):
+            flattened = {}
+            for backend, ctx in contexts.items():
+                flattened[backend] = [
+                    (members_frozenset(child.vertices), child.value, child.key)
+                    for child in ctx.children_after_removal(vertex)
+                ]
+            assert flattened["set"] == flattened["csr"], (vertex, k, f)
+        batches = {
+            backend: [
+                (members_frozenset(child.vertices), child.value, child.key)
+                for child in ctx.expand()
+            ]
+            for backend, ctx in contexts.items()
+        }
+        assert batches["set"] == batches["csr"], (k, f)
+
+
+@given(weighted_graphs(min_n=4), st.integers(1, 3),
+       st.floats(0.0, 0.99), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_expansion_floor_parity(graph, k, rel_floor, r):
+    """A value floor (static or callable) prunes identically on both
+    engines, and never prunes a child a floorless expansion would keep
+    above the floor."""
+    aggregator = get_aggregator("sum")
+    hasher = ZobristHasher(graph.n)
+    for component in connected_kcore_components(graph, range(graph.n), k):
+        value = aggregator.value(graph, frozenset(component))
+        floor = rel_floor * value
+        results = {}
+        for backend in ("set", "csr"):
+            ctx = expansion_context(
+                graph, frozenset(component), k, aggregator, value,
+                hasher, backend=backend,
+            )
+            results[backend] = [
+                (members_frozenset(c.vertices), c.value, c.key)
+                for c in ctx.expand(floor)
+            ]
+            callable_children = [
+                (members_frozenset(c.vertices), c.value, c.key)
+                for c in expansion_context(
+                    graph, frozenset(component), k, aggregator, value,
+                    hasher, backend=backend,
+                ).expand(lambda: floor)
+            ]
+            assert callable_children == results[backend], backend
+        assert results["set"] == results["csr"]
+        # Conservativeness: the floor may generate extra children below it
+        # (it prunes on the min_removal_loss bound, not exact values) but
+        # must never drop one at-or-above it.
+        unfiltered = [
+            (members_frozenset(c.vertices), c.value, c.key)
+            for c in expansion_context(
+                graph, frozenset(component), k, aggregator, value, hasher,
+                backend="csr",
+            ).expand()
+        ]
+        floored = set(results["csr"])
+        assert floored <= set(unfiltered)
+        for child in unfiltered:
+            if child[1] >= floor:
+                assert child in floored, child
 
 
 @given(weighted_graphs(), st.integers(1, 4))
