@@ -4,10 +4,21 @@ Subcommands::
 
     repro search   --dataset email --k 4 --r 5 --f sum [--s 20] [--tonic]
     repro search   --edges graph.txt --weights w.txt ...
+    repro batch    --dataset email --workload queries.json [--workers 4]
     repro datasets                      # list stand-ins with statistics
     repro bench    --exp fig2 [--out EXPERIMENTS.md]
     repro casestudy                     # the Fig 14 reproduction
     repro verify                        # solver-vs-oracle self check
+
+``batch`` serves a whole JSON workload through one
+:class:`repro.serving.service.QueryService` — shared CSR, cached
+decompositions, an expansion-engine pool and a keyed result cache —
+optionally sharded across worker processes.  The workload file holds a
+JSON array of query objects whose fields mirror
+:class:`repro.serving.query.InfluentialQuery`::
+
+    [{"k": 4, "r": 5, "f": "sum"},
+     {"k": 6, "r": 3, "f": "sum-surplus(1)", "eps": 0.1}]
 
 Also runnable as ``python -m repro ...``.
 """
@@ -56,6 +67,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--random-strategy",
         action="store_true",
         help="use the Random local-search variant instead of Greedy",
+    )
+
+    batch = sub.add_parser(
+        "batch", help="serve a JSON workload of queries over one graph"
+    )
+    batch_source = batch.add_mutually_exclusive_group(required=True)
+    batch_source.add_argument(
+        "--dataset", help="a stand-in dataset name (see `datasets`)"
+    )
+    batch_source.add_argument("--edges", help="path to a SNAP-style edge list")
+    batch.add_argument("--weights", help="path to a vertex-weight file")
+    batch.add_argument(
+        "--workload", required=True,
+        help="JSON file holding an array of query objects",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="shard distinct queries across this many worker processes",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity (0 disables caching)",
+    )
+    batch.add_argument(
+        "--backend", default="auto", help="graph backend: auto|set|csr"
+    )
+    batch.add_argument(
+        "--out", default=None, help="also write results as JSON to this path"
+    )
+    batch.add_argument(
+        "--stats", action="store_true",
+        help="print serving stats (cache hit rates, pool reuse) after the run",
     )
 
     sub.add_parser("datasets", help="list the stand-in datasets with statistics")
@@ -126,6 +169,59 @@ def _load_graph(args: argparse.Namespace):
     return graph.with_weights(pagerank(graph))
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import SpecError
+    from repro.serving.query import InfluentialQuery
+    from repro.serving.service import QueryService
+
+    with open(args.workload, "r", encoding="utf-8") as handle:
+        try:
+            raw = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"workload {args.workload} is not valid JSON: {exc}")
+    if not isinstance(raw, list):
+        raise SpecError(
+            f"workload must be a JSON array of query objects, got "
+            f"{type(raw).__name__}"
+        )
+    queries = [InfluentialQuery.create(entry) for entry in raw]
+
+    graph = _load_graph(args)
+    service = QueryService(
+        graph, backend=args.backend, cache_size=args.cache_size
+    )
+    start = time.perf_counter()
+    results = service.submit_many(queries, workers=args.workers)
+    elapsed = time.perf_counter() - start
+
+    for index, (query, result) in enumerate(zip(queries, results), start=1):
+        print(f"[{index}/{len(queries)}] {query.describe()}")
+        print(result.describe(graph))
+    rate = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"\nserved {len(queries)} queries in {elapsed:.3f}s "
+        f"({rate:.1f} queries/sec)"
+    )
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2))
+    if args.out:
+        payload = [
+            {
+                "query": query.describe(),
+                "values": result.values(),
+                "communities": [sorted(c.vertices) for c in result],
+            }
+            for query, result in zip(queries, results)
+        ]
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.bench.datasets import dataset_statistics_table
 
@@ -166,6 +262,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "search": _cmd_search,
+        "batch": _cmd_batch,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
         "casestudy": _cmd_casestudy,

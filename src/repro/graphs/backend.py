@@ -16,6 +16,7 @@ parameter.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator
@@ -25,10 +26,29 @@ from repro.errors import GraphError
 #: Recognised backend names ("auto" resolves to the current default).
 BACKENDS = ("set", "csr")
 
+#: Environment variable overriding the initial default backend.  CI uses it
+#: to run the whole test suite on a {set, csr} matrix without touching any
+#: call site; an unknown value fails fast at import rather than silently
+#: running the wrong engine.
+BACKEND_ENV_VAR = "REPRO_GRAPH_BACKEND"
+
+
+def _initial_default() -> str:
+    name = os.environ.get(BACKEND_ENV_VAR, "csr")
+    if name not in BACKENDS:
+        raise GraphError(
+            f"{BACKEND_ENV_VAR}={name!r} is not a graph backend; "
+            f"expected one of {BACKENDS}"
+        )
+    return name
+
+
 # A ContextVar rather than a module global: concurrent queries (threads or
 # asyncio tasks) scoping different backends via use_backend() cannot race
 # each other's "auto" resolutions.
-_default_backend: ContextVar[str] = ContextVar("repro_graph_backend", default="csr")
+_default_backend: ContextVar[str] = ContextVar(
+    "repro_graph_backend", default=_initial_default()
+)
 
 
 def _check(name: str) -> None:

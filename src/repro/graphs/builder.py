@@ -135,6 +135,55 @@ class GraphBuilder:
         return graph
 
 
+def graph_from_csr_arrays(
+    indptr,
+    indices,
+    weights: Sequence[float] | None = None,
+    labels: Sequence[str] | None = None,
+) -> Graph:
+    """Rebuild a :class:`Graph` from flat CSR arrays.
+
+    The inverse of flattening: the serving layer's process-pool workers
+    receive one ``(indptr, indices, weights)`` payload per worker and
+    reconstruct the graph without re-parsing edge lists or re-sorting
+    anything.  Both backends come up warm — the set adjacency is built
+    from the neighbour runs and the CSR cache is seeded directly from the
+    (validated) arrays, so no flattening cost is paid either.
+    """
+    from repro.graphs.csr import CSRAdjacency
+
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.size < 1:
+        raise GraphError("indptr must be a 1-D array of length n + 1")
+    n = int(indptr.size - 1)
+    indices = np.ascontiguousarray(indices)
+    if indices.ndim != 1 or int(indptr[-1]) != indices.size:
+        raise GraphError(
+            f"indices length {indices.size} does not match indptr[-1]="
+            f"{int(indptr[-1])}"
+        )
+    adjacency = [
+        set(indices[indptr[v] : indptr[v + 1]].tolist()) for v in range(n)
+    ]
+    if sum(len(neigh) for neigh in adjacency) != indices.size:
+        raise GraphError("indices contain duplicate entries within a run")
+    if indices.size > 1:
+        # Every kernel assumes sorted neighbour runs; one vectorised pass
+        # checks ascending order everywhere except across run boundaries.
+        descending = np.diff(indices.astype(np.int64)) <= 0
+        boundary = np.zeros(indices.size - 1, dtype=bool)
+        starts = indptr[1:-1]
+        starts = starts[(starts > 0) & (starts < indices.size)]
+        boundary[starts - 1] = True
+        if np.any(descending & ~boundary):
+            raise GraphError("neighbour runs must be sorted ascending")
+    # The Graph constructor re-validates symmetry/self-loops/ranges — CSR
+    # payloads cross process boundaries, so they are not trusted input.
+    graph = Graph(adjacency, weights, labels=labels)
+    graph._csr = CSRAdjacency(indptr, indices)
+    return graph
+
+
 def graph_from_edges(
     edges: Iterable[tuple[int, int]],
     weights: Sequence[float] | None = None,

@@ -29,6 +29,7 @@ total at 203).  We therefore re-derive a placement and edge set from the
 
 from __future__ import annotations
 
+from repro.errors import GraphError
 from repro.graphs.builder import GraphBuilder
 from repro.graphs.graph import Graph
 
@@ -93,6 +94,42 @@ def paper_vertex_set(names: list[str] | str) -> frozenset[int]:
     if isinstance(names, str):
         names = names.split()
     return frozenset(int(name.lstrip("v")) - 1 for name in names)
+
+
+def barbell_graph(
+    clique: int = 5,
+    path: int = 2,
+    weights: "list[float] | None" = None,
+) -> Graph:
+    """Two ``clique``-cliques joined by a ``path``-vertex bridge.
+
+    The classic stress shape for community search: two dense communities
+    (each a (clique-1)-core and clique-truss) whose only connection is a
+    low-cohesion path that any k >= 2 peel severs.  Vertices are numbered
+    left clique ``0..clique-1``, bridge ``clique..clique+path-1``, right
+    clique onward; default weights are ``1, 2, 3, ...`` so the right
+    clique strictly dominates the left under every aggregator.
+    """
+    if clique < 2:
+        raise GraphError(f"barbell cliques need >= 2 vertices, got {clique}")
+    if path < 0:
+        raise GraphError(f"bridge length must be >= 0, got {path}")
+    n = 2 * clique + path
+    builder = GraphBuilder(n)
+    left = list(range(clique))
+    bridge = list(range(clique, clique + path))
+    right = list(range(clique + path, n))
+    for block in (left, right):
+        for i, u in enumerate(block):
+            for v in block[i + 1 :]:
+                builder.add_edge(u, v)
+    chain = [left[-1], *bridge, right[0]]
+    for u, v in zip(chain, chain[1:]):
+        builder.add_edge(u, v)
+    if weights is None:
+        weights = [float(v + 1) for v in range(n)]
+    builder.set_weights(weights)
+    return builder.build()
 
 
 def tiny_kcore_graph() -> Graph:

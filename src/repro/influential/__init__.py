@@ -18,7 +18,7 @@ based on the aggregator's properties and the problem spec, mirroring the
 paper's Table I.
 """
 
-from repro.influential.api import top_r_communities
+from repro.influential.api import top_r_communities, top_r_many
 from repro.influential.community import Community, community_from_vertices
 from repro.influential.results import ResultSet
 from repro.influential.spec import ProblemSpec
@@ -29,4 +29,5 @@ __all__ = [
     "ResultSet",
     "community_from_vertices",
     "top_r_communities",
+    "top_r_many",
 ]

@@ -58,6 +58,7 @@ def top_r_communities(
     seed_order: str | None = None,
     rng_seed: int | None = None,
     backend: str = "auto",
+    engine_pool=None,
 ) -> ResultSet:
     """Find the top-r (non-overlapping) (size-constrained) communities.
 
@@ -74,17 +75,51 @@ def top_r_communities(
     engine of Algorithms 1 and 2 (:mod:`repro.influential.expansion` vs
     :mod:`repro.influential.expansion_csr`).  Both backends return
     identical results; "set" exists for parity checking and debugging.
+
+    Degenerate-but-well-posed queries return empty result sets rather
+    than raising: a graph with no vertices, or ``k >= |V|`` (no induced
+    subgraph can reach minimum degree k), short-circuit to an empty
+    :class:`ResultSet` before any solver runs.  Malformed *specs* (k or r
+    below 1, infeasible or oversized ``s`` on a non-degenerate graph,
+    unknown methods) still raise.
+
+    ``engine_pool`` optionally carries a
+    :class:`~repro.serving.engine_pool.ExpansionEnginePool` of shared
+    expansion state (seed components, relabelled local CSRs, Zobrist
+    tables); :class:`~repro.serving.service.QueryService` threads one
+    through every query it serves.  Pools are pure caches — results are
+    byte-identical with or without one.
     """
     spec = ProblemSpec.create(k, r, f, s, non_overlapping)
-    spec.validate_for(graph)
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; expected one of {METHODS}")
+    if spec.infeasible_for(graph):
+        # Empty/singleton graphs and k >= |V|: no community can exist, so
+        # every solver's answer is the empty set — return it well-formed
+        # instead of bouncing serving traffic with an exception.
+        return ResultSet(())
+    spec.validate_for(graph)
     # The explicit backend= is passed to the solvers that have their own
     # engine switch *and* scoped ambiently, so kernels reached without an
     # explicit argument (components, truss peels, strategies) follow too.
     with use_backend(backend) as resolved:
+        if (
+            engine_pool is not None
+            and method == "auto"
+            and k > engine_pool.kmax
+            # Parameters that only a *solver* validates must keep failing
+            # identically with or without a pool, so any value a dispatch
+            # target could reject falls through to the normal path (and
+            # raises there, exactly as a cold call would).
+            and 0.0 <= eps < 1.0
+            and seed_order in (None, "id", "weight", "shuffled")
+        ):
+            # The pool's cached core decomposition proves no k-core exists;
+            # every auto-dispatch family returns empty on such queries.
+            return ResultSet(())
         return _dispatch(
-            graph, spec, method, eps, greedy, seed_order, rng_seed, resolved
+            graph, spec, method, eps, greedy, seed_order, rng_seed, resolved,
+            engine_pool,
         )
 
 
@@ -97,6 +132,7 @@ def _dispatch(
     seed_order: str | None,
     rng_seed: int | None,
     backend: str = "auto",
+    engine_pool=None,
 ) -> ResultSet:
     aggregator = spec.f
     k, r, s = spec.k, spec.r, spec.s
@@ -123,7 +159,9 @@ def _dispatch(
             return tonic_sum_unconstrained(graph, k, r, aggregator)
         if spec.size_constrained:
             raise SolverError("Algorithm 1 solves the size-unconstrained problem")
-        return sum_naive(graph, k, r, aggregator, backend=backend)
+        return sum_naive(
+            graph, k, r, aggregator, backend=backend, engine_pool=engine_pool
+        )
 
     if method == "improved" or method == "approx":
         if non_overlapping:
@@ -131,7 +169,10 @@ def _dispatch(
         if spec.size_constrained:
             raise SolverError("Algorithm 2 solves the size-unconstrained problem")
         use_eps = eps if method == "approx" else 0.0
-        return tic_improved(graph, k, r, aggregator, eps=use_eps, backend=backend)
+        return tic_improved(
+            graph, k, r, aggregator, eps=use_eps, backend=backend,
+            engine_pool=engine_pool,
+        )
 
     if method == "local":
         bound = spec.effective_size_bound(graph)
@@ -141,7 +182,9 @@ def _dispatch(
             seed_order=seed_order, rng_seed=rng_seed, backend=backend,
         )
 
-    return _auto_dispatch(graph, spec, eps, greedy, seed_order, rng_seed, backend)
+    return _auto_dispatch(
+        graph, spec, eps, greedy, seed_order, rng_seed, backend, engine_pool
+    )
 
 
 def _auto_dispatch(
@@ -152,6 +195,7 @@ def _auto_dispatch(
     seed_order: str | None,
     rng_seed: int | None,
     backend: str = "auto",
+    engine_pool=None,
 ) -> ResultSet:
     aggregator, k, r = spec.f, spec.k, spec.r
 
@@ -169,7 +213,10 @@ def _auto_dispatch(
         if aggregator.decreases_under_removal:
             if spec.non_overlapping:
                 return tonic_sum_unconstrained(graph, k, r, aggregator)
-            return tic_improved(graph, k, r, aggregator, eps=eps, backend=backend)
+            return tic_improved(
+                graph, k, r, aggregator, eps=eps, backend=backend,
+                engine_pool=engine_pool,
+            )
         # NP-hard unconstrained (avg, densities): the paper's recourse is
         # local search with s = |V| (Sections III/V).
 
@@ -179,3 +226,30 @@ def _auto_dispatch(
         greedy=greedy, non_overlapping=spec.non_overlapping,
         seed_order=seed_order, rng_seed=rng_seed, backend=backend,
     )
+
+
+def top_r_many(
+    graph: Graph,
+    queries,
+    backend: str = "auto",
+    cache_size: int = 1024,
+    workers: int | None = None,
+) -> "list[ResultSet]":
+    """Answer a batch of queries over one graph with shared serving state.
+
+    ``queries`` is an iterable of
+    :class:`~repro.serving.query.InfluentialQuery` (or mappings accepted
+    by :meth:`~repro.serving.query.InfluentialQuery.create`).  A transient
+    :class:`~repro.serving.service.QueryService` is stood up around
+    ``graph`` — CSR warmed, decompositions cached, one expansion-engine
+    pool, an LRU result cache of ``cache_size`` — and the batch is
+    answered in submission order; ``workers > 1`` shards the batch across
+    a process pool.  Results are byte-identical to calling
+    :func:`top_r_communities` per query; long-lived callers should hold a
+    :class:`~repro.serving.service.QueryService` themselves so the caches
+    survive across batches.
+    """
+    from repro.serving.service import QueryService
+
+    service = QueryService(graph, backend=backend, cache_size=cache_size)
+    return service.submit_many(queries, workers=workers)

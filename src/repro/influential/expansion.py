@@ -285,6 +285,7 @@ def expansion_context(
     hasher: ZobristHasher,
     parent_key: int | None = None,
     backend: str = "auto",
+    pool=None,
 ):
     """Build the expansion engine for ``members`` on the resolved backend.
 
@@ -294,12 +295,24 @@ def expansion_context(
     :class:`~repro.influential.expansion_csr.CSRExpansionContext` (csr);
     the two expose the same ``expand`` / ``children_after_removal`` /
     ``min_removal_loss`` surface and produce bit-identical children.
+
+    ``pool`` may carry a
+    :class:`~repro.serving.engine_pool.ExpansionEnginePool`: on the CSR
+    backend the pool supplies (and caches across queries) the
+    query-independent :class:`~repro.influential.expansion_csr
+    .ComponentStructure`, so repeated pops of the same community — within
+    one query or across a served batch — skip the relabelling.  The set
+    backend ignores it.
     """
     if resolve_backend(backend) == "csr":
         from repro.influential.expansion_csr import CSRExpansionContext
 
+        structure = None
+        if pool is not None:
+            structure = pool.structure_for(members, k)
         return CSRExpansionContext(
-            graph, members, k, aggregator, parent_value, hasher, parent_key
+            graph, members, k, aggregator, parent_value, hasher, parent_key,
+            structure=structure,
         )
     return ExpansionContext(
         graph,
@@ -310,6 +323,42 @@ def expansion_context(
         hasher,
         parent_key,
     )
+
+
+def seed_candidates(
+    graph: Graph,
+    k: int,
+    aggregator: Aggregator,
+    hasher: ZobristHasher,
+    backend: str = "auto",
+    pool=None,
+) -> Iterator[ChildCandidate]:
+    """The Lines-1-2 seeds of Algorithms 1 and 2: every connected component
+    of the maximal k-core, as a :class:`ChildCandidate`.
+
+    With ``pool`` set (and the CSR backend) the per-k component split is
+    served from the pool's cached core decomposition instead of re-peeling
+    the whole graph, and members arrive as already-hashed
+    :class:`~repro.influential.expansion_csr.MemberArray` seeds.  Both
+    paths emit components in smallest-member order and evaluate the
+    aggregator over ascending member ids, so seed values (and every float
+    derived from them) are bit-identical.
+    """
+    from repro.core.kcore import connected_kcore_components
+
+    if pool is not None and resolve_backend(backend) == "csr":
+        for members in pool.seed_members(k):
+            value = aggregator.value(graph, members.ids.tolist())
+            yield ChildCandidate(members, value, members.key)
+        return
+    for component in connected_kcore_components(
+        graph, range(graph.n), k, backend=backend
+    ):
+        members, key = community_members(component, hasher, backend)
+        # Ascending member order keeps the float summation sequence — and
+        # therefore the seed values — identical across backends.
+        value = aggregator.value(graph, sorted(component))
+        yield ChildCandidate(members, value, key)
 
 
 def _split_components(

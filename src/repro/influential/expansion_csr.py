@@ -60,7 +60,7 @@ from repro.influential.expansion import (
 )
 from repro.utils.zobrist import ZobristHasher
 
-__all__ = ["MemberArray", "CSRExpansionContext"]
+__all__ = ["MemberArray", "ComponentStructure", "CSRExpansionContext"]
 
 
 class MemberArray:
@@ -115,6 +115,130 @@ class MemberArray:
         return f"MemberArray(size={self.ids.size}, key={self.key:#x})"
 
 
+class ComponentStructure:
+    """Query-independent expansion state of one candidate community.
+
+    Everything a :class:`CSRExpansionContext` derives from the *topology*
+    (and the per-graph weight/token arrays) lives here: the component-local
+    CSR, induced degrees, the ``has_weak`` cascade predicate, the lazily
+    computed articulation mask, plus the gathered member weights and
+    Zobrist tokens.  None of it depends on the aggregator, the parent
+    value, or the query's ``r``/``eps`` — which is what makes a structure
+    safe to cache and share across queries.  A structure is only valid for
+    the ``k`` it was built with (``has_weak`` thresholds at exactly ``k``);
+    the serving-layer engine pool keys its cache by ``(k, members)``.
+
+    ``substructure`` relabels a community that lives *inside* this one
+    against the component-local CSR instead of the global graph: pops that
+    share a maximal k-core component never pay the global gather (or its
+    O(n) membership heuristics) again.
+    """
+
+    __slots__ = (
+        "members",
+        "local",
+        "degree",
+        "local_weights",
+        "local_tokens",
+        "has_weak",
+        "_articulation",
+    )
+
+    def __init__(
+        self,
+        members: MemberArray,
+        local: CSRAdjacency,
+        degree: np.ndarray,
+        local_weights: np.ndarray,
+        local_tokens: np.ndarray,
+        has_weak: np.ndarray,
+    ) -> None:
+        self.members = members
+        self.local = local
+        self.degree = degree
+        self.local_weights = local_weights
+        self.local_tokens = local_tokens
+        self.has_weak = has_weak
+        # Articulation detection is the one per-component cost that cannot
+        # be a numpy reduction; it is computed lazily because value-pruned
+        # expansions (the steady state of Algorithm 2) never need it.
+        self._articulation: np.ndarray | None = None
+
+    @classmethod
+    def build(
+        cls, graph: Graph, members: MemberArray, k: int, hasher: ZobristHasher
+    ) -> "ComponentStructure":
+        """Structure of ``members`` relabelled against the global CSR."""
+        ids64 = members.ids.astype(np.int64)
+        local = graph.csr.induced_local(ids64)
+        return cls._finish(
+            members, local, k, graph.weights[ids64], hasher.tokens[ids64]
+        )
+
+    @classmethod
+    def _finish(
+        cls,
+        members: MemberArray,
+        local: CSRAdjacency,
+        k: int,
+        local_weights: np.ndarray,
+        local_tokens: np.ndarray,
+    ) -> "ComponentStructure":
+        degree = local.degrees()
+        # One vectorised pass computes, for every vertex, whether any
+        # neighbour sits at induced degree exactly k (= removal cascades).
+        c = len(members)
+        owners = np.repeat(np.arange(c, dtype=np.int64), np.diff(local.indptr))
+        weak_edge = degree[local.indices] == k
+        has_weak = np.bincount(owners[weak_edge], minlength=c) > 0
+        return cls(members, local, degree, local_weights, local_tokens, has_weak)
+
+    def substructure(self, members: MemberArray, k: int) -> "ComponentStructure":
+        """Structure of a community contained in this one.
+
+        ``members`` must be a subset of ``self.members``; both are sorted,
+        so one monotone searchsorted maps global ids to positions inside
+        this component and the induced CSR is built from the (much
+        smaller) component-local arrays.
+        """
+        pos = np.searchsorted(self.members.ids, members.ids).astype(np.int64)
+        if pos.size and (
+            pos[-1] >= self.members.ids.size
+            or not np.array_equal(self.members.ids[pos], members.ids)
+        ):
+            raise ValueError(
+                "substructure members are not a subset of the component"
+            )
+        local = self.local.induced_local(pos)
+        return self._finish(
+            members, local, k, self.local_weights[pos], self.local_tokens[pos]
+        )
+
+    def reweight(self, weights: np.ndarray) -> None:
+        """Re-gather member weights after a ``with_weights``-style update.
+
+        Topology, tokens, degrees and articulation are weight-independent,
+        so a cached structure survives a weight update at the cost of one
+        fancy-indexing gather.
+        """
+        self.local_weights = weights[self.members.ids.astype(np.int64)]
+
+    @property
+    def articulation(self) -> np.ndarray:
+        """Boolean mask over local ids: True at articulation vertices."""
+        if self._articulation is None:
+            self._articulation = _articulation_mask(
+                self.local.indptr, self.local.indices
+            )
+        return self._articulation
+
+    def __repr__(self) -> str:
+        return (
+            f"ComponentStructure(size={len(self.members)}, "
+            f"m={self.local.m})"
+        )
+
+
 class CSRExpansionContext:
     """Per-component expansion state over a component-local CSR.
 
@@ -123,6 +247,12 @@ class CSRExpansionContext:
     constructor shape, same ``expand`` / ``children_after_removal`` /
     ``min_removal_loss`` surface, children carrying identical values and
     Zobrist keys — the property suite holds the two in lockstep.
+
+    The query-independent arrays live in a :class:`ComponentStructure`;
+    passing a prebuilt ``structure`` (the serving-layer engine pool does)
+    skips the relabelling entirely.  The context never mutates the
+    structure's arrays, so one structure can back any number of
+    concurrent contexts.
     """
 
     __slots__ = (
@@ -133,12 +263,7 @@ class CSRExpansionContext:
         "parent_value",
         "parent_key",
         "hasher",
-        "local",
-        "degree",
-        "local_weights",
-        "local_tokens",
-        "has_weak",
-        "_articulation",
+        "structure",
         "_sum_alpha",
     )
 
@@ -151,34 +276,24 @@ class CSRExpansionContext:
         parent_value: float,
         hasher: ZobristHasher,
         parent_key: int | None = None,
+        structure: ComponentStructure | None = None,
     ) -> None:
         self.graph = graph
         self.k = k
-        self.members = MemberArray.from_iterable(members, hasher)
+        self.members = (
+            structure.members
+            if structure is not None
+            else MemberArray.from_iterable(members, hasher)
+        )
         self.aggregator = aggregator
         self.parent_value = parent_value
         self.hasher = hasher
         self.parent_key = (
             parent_key if parent_key is not None else self.members.key
         )
-        ids64 = self.members.ids.astype(np.int64)
-        local = graph.csr.induced_local(ids64)
-        self.local = local
-        self.degree = local.degrees()
-        self.local_weights = graph.weights[ids64]
-        self.local_tokens = hasher.tokens[ids64]
-        # One vectorised pass computes, for every vertex, whether any
-        # neighbour sits at induced degree exactly k (= removal cascades).
-        c = ids64.size
-        owners = np.repeat(
-            np.arange(c, dtype=np.int64), np.diff(local.indptr)
-        )
-        weak_edge = self.degree[local.indices] == k
-        self.has_weak = np.bincount(owners[weak_edge], minlength=c) > 0
-        # Articulation detection is the one per-component cost that cannot
-        # be a numpy reduction; it is computed lazily because value-pruned
-        # expansions (the steady state of Algorithm 2) never need it.
-        self._articulation: np.ndarray | None = None
+        if structure is None:
+            structure = ComponentStructure.build(graph, self.members, k, hasher)
+        self.structure = structure
         self._sum_alpha = sum_alpha_of(aggregator)
 
     # ------------------------------------------------------------------
@@ -190,13 +305,34 @@ class CSRExpansionContext:
         return self.members.to_frozenset()
 
     @property
+    def local(self) -> CSRAdjacency:
+        """The component-local CSR (local id ``i`` = ``members.ids[i]``)."""
+        return self.structure.local
+
+    @property
+    def degree(self) -> np.ndarray:
+        """Induced degree per local id."""
+        return self.structure.degree
+
+    @property
+    def local_weights(self) -> np.ndarray:
+        """Member weights gathered into local id order."""
+        return self.structure.local_weights
+
+    @property
+    def local_tokens(self) -> np.ndarray:
+        """Member Zobrist tokens gathered into local id order."""
+        return self.structure.local_tokens
+
+    @property
+    def has_weak(self) -> np.ndarray:
+        """True at local ids whose removal cascades (a degree-k neighbour)."""
+        return self.structure.has_weak
+
+    @property
     def articulation(self) -> np.ndarray:
         """Boolean mask over local ids: True at articulation vertices."""
-        if self._articulation is None:
-            self._articulation = _articulation_mask(
-                self.local.indptr, self.local.indices
-            )
-        return self._articulation
+        return self.structure.articulation
 
     def min_removal_loss(self, v: int) -> float:
         """Lower bound on ``f(component) - f(child)`` for removals of ``v``

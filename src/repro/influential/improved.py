@@ -43,8 +43,8 @@ from repro.graphs.graph import Graph
 from repro.influential.community import Community
 from repro.influential.expansion import (
     ChildCandidate,
-    community_members,
     expansion_context,
+    seed_candidates,
 )
 from repro.influential.results import ResultSet
 from repro.utils.heaps import LazyMaxHeap
@@ -59,6 +59,7 @@ def tic_improved(
     f: "str | Aggregator | None" = None,
     eps: float = 0.0,
     backend: str = "auto",
+    engine_pool=None,
 ) -> ResultSet:
     """Top-r size-unconstrained communities via best-first search.
 
@@ -66,6 +67,10 @@ def tic_improved(
     "Approx" variant with the Theorem 6 guarantee (paper default 0.1).
     ``backend`` selects the expansion engine (see
     :mod:`repro.graphs.backend`); both produce identical results.
+    ``engine_pool`` may carry a
+    :class:`~repro.serving.engine_pool.ExpansionEnginePool` sharing seed
+    components, expansion structures and the Zobrist table across queries
+    (CSR backend only; a pure cache — results are unchanged).
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -79,26 +84,21 @@ def tic_improved(
     if not 0.0 <= eps < 1.0:
         raise SolverError(f"approximation ratio eps must be in [0, 1), got {eps}")
     resolved = resolve_backend(backend)
+    pool = engine_pool if resolved == "csr" else None
 
     # Lines 1-2: seed the candidate heap with the k-core components.
     # Heap payloads carry (representation, value, zobrist_key) so
     # expansion contexts can derive child values/keys incrementally.
     frontier: LazyMaxHeap[ChildCandidate] = LazyMaxHeap()
-    hasher = ZobristHasher(graph.n)
+    hasher = pool.hasher if pool is not None else ZobristHasher(graph.n)
     seen = CommunityDeduper(hasher)
     # `candidate_top` tracks the r best candidate values ever generated;
     # its threshold is the paper's f(Lr) pruning bound (Line 13).
     candidate_top: TopR[float] = TopR(r, key=lambda v: v)
-    for component in connected_kcore_components(
-        graph, range(graph.n), k, backend=resolved
-    ):
-        members, key = community_members(component, hasher, resolved)
-        seen.add(members, key)
-        # Ascending member order keeps the float summation sequence — and
-        # therefore the seed values — identical across backends.
-        value = aggregator.value(graph, sorted(component))
-        frontier.push(value, ChildCandidate(members, value, key))
-        candidate_top.offer(value)
+    for seed in seed_candidates(graph, k, aggregator, hasher, resolved, pool):
+        seen.add(seed.vertices, seed.key)
+        frontier.push(seed.value, seed)
+        candidate_top.offer(seed.value)
 
     results: list[ChildCandidate] = []
     confirmed: set[object] = set()
@@ -120,7 +120,7 @@ def tic_improved(
         # applied per child below.
         context = expansion_context(
             graph, lmax.vertices, k, aggregator, value, hasher,
-            lmax.key, backend=resolved,
+            lmax.key, backend=resolved, pool=pool,
         )
         prune_at = candidate_top.threshold()
         for child in context.expand(candidate_top.threshold):

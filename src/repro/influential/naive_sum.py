@@ -35,14 +35,13 @@ from __future__ import annotations
 from repro.aggregators.base import Aggregator
 from repro.aggregators.registry import get_aggregator
 from repro.aggregators.summation import Sum
-from repro.core.kcore import connected_kcore_components
 from repro.errors import SolverError
 from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
 from repro.influential.expansion import (
     ChildCandidate,
-    community_members,
     expansion_context,
+    seed_candidates,
 )
 from repro.influential.results import ResultSet
 from repro.utils.topr import TopR
@@ -56,6 +55,7 @@ def sum_naive(
     f: "str | Aggregator | None" = None,
     max_sweeps: int | None = None,
     backend: str = "auto",
+    engine_pool=None,
 ) -> ResultSet:
     """Top-r size-unconstrained k-influential communities (Algorithm 1).
 
@@ -64,6 +64,10 @@ def sum_naive(
     caps the fixpoint iteration for diagnostics; None runs to convergence.
     ``backend`` selects the expansion engine (see
     :mod:`repro.graphs.backend`); both produce identical results.
+    ``engine_pool`` may carry a
+    :class:`~repro.serving.engine_pool.ExpansionEnginePool` sharing seed
+    components, expansion structures and the Zobrist table across queries
+    (CSR backend only; a pure cache — results are unchanged).
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -75,22 +79,17 @@ def sum_naive(
     if k < 1 or r < 1:
         raise SolverError(f"need k >= 1 and r >= 1, got k={k}, r={r}")
     resolved = resolve_backend(backend)
+    pool = engine_pool if resolved == "csr" else None
 
     # Lines 1-2: components of the maximal k-core, kept as a top-r list.
     # Candidates carry (representation, value, key) so expansion contexts
     # can derive child values and Zobrist keys incrementally.
     top: TopR[ChildCandidate] = TopR(r, key=lambda c: c.value)
-    hasher = ZobristHasher(graph.n)
+    hasher = pool.hasher if pool is not None else ZobristHasher(graph.n)
     seen = CommunityDeduper(hasher)
-    for component in connected_kcore_components(
-        graph, range(graph.n), k, backend=resolved
-    ):
-        members, key = community_members(component, hasher, resolved)
-        seen.add(members, key)
-        # Ascending member order keeps the float summation sequence — and
-        # therefore the seed values — identical across backends.
-        value = aggregator.value(graph, sorted(component))
-        top.offer(ChildCandidate(members, value, key))
+    for seed in seed_candidates(graph, k, aggregator, hasher, resolved, pool):
+        seen.add(seed.vertices, seed.key)
+        top.offer(seed)
 
     # Lines 3-10, iterated to a fixpoint.  Each sweep expands every vertex
     # of every retained community exactly once — the naive full scan.
@@ -107,6 +106,7 @@ def sum_naive(
             context = expansion_context(
                 graph, candidate.vertices, k, aggregator,
                 candidate.value, hasher, candidate.key, backend=resolved,
+                pool=pool,
             )
             for child in context.expand():
                 if not seen.add(child.vertices, child.key):

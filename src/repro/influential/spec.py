@@ -77,6 +77,19 @@ class ProblemSpec:
         """The working size bound: ``s``, or ``|V|`` when unconstrained."""
         return self.s if self.s is not None else graph.n
 
+    def infeasible_for(self, graph: Graph) -> bool:
+        """True when no community can exist in ``graph`` *by construction*.
+
+        A k-core needs at least ``k + 1`` vertices, so ``k >= |V|`` (which
+        subsumes the empty and singleton graphs for any valid ``k``) makes
+        the correct answer the empty set.  The query API returns that
+        empty answer instead of raising — a serving layer must absorb
+        degenerate queries, not crash on them — while
+        :meth:`validate_for` keeps treating the condition as an error for
+        callers that want strict validation.
+        """
+        return graph.n == 0 or self.k >= graph.n
+
     def validate_for(self, graph: Graph) -> None:
         """Check the spec is meaningful for ``graph``."""
         if self.k >= graph.n:

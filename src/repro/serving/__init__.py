@@ -1,0 +1,35 @@
+"""Batched multi-query serving over one shared CSR graph.
+
+The ROADMAP's north star is serving heavy traffic, and PR 1/2 made single
+queries fast; this package is the layer that makes *many* queries fast
+together:
+
+* :class:`~repro.serving.query.InfluentialQuery` — one request, with a
+  canonical cache key;
+* :class:`~repro.serving.cache.LRUCache` — the keyed LRU both serving
+  caches use;
+* :class:`~repro.serving.engine_pool.ExpansionEnginePool` — shared
+  expansion-engine state (seed components, relabelled local CSRs,
+  Zobrist tables) reused across queries;
+* :class:`~repro.serving.service.QueryService` — loads a graph once,
+  caches decompositions and results, answers batches, and shards
+  independent queries across worker processes;
+* :mod:`~repro.serving.oracle` — the small-graph oracle harness pinning
+  every served answer to the brute-force reference.
+
+Entry points: ``QueryService(graph).submit(...)`` /
+``submit_many(...)``, :func:`repro.influential.api.top_r_many`, and the
+``repro batch`` CLI subcommand.
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.engine_pool import ExpansionEnginePool
+from repro.serving.query import InfluentialQuery
+from repro.serving.service import QueryService
+
+__all__ = [
+    "ExpansionEnginePool",
+    "InfluentialQuery",
+    "LRUCache",
+    "QueryService",
+]

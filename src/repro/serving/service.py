@@ -1,0 +1,387 @@
+"""The batched multi-query serving layer: one graph, many queries.
+
+A :class:`QueryService` owns everything that should be paid **once per
+graph** instead of once per query:
+
+* the flattened CSR arrays (warmed at construction);
+* the full core decomposition (eager — it powers the per-k seed splits
+  and the ``k > kmax`` fast path) and the truss decomposition (lazy —
+  only ``cohesion="truss"`` traffic needs it);
+* an :class:`~repro.serving.engine_pool.ExpansionEnginePool` sharing
+  relabelled component-local CSRs and the Zobrist table across every
+  query it serves;
+* a keyed LRU **result cache** over canonical
+  :meth:`~repro.serving.query.InfluentialQuery.cache_key` identities,
+  with explicit invalidation (per key, per k, or on weight updates).
+
+``submit`` answers one query; ``submit_many`` answers a batch — in
+submission order, deduplicating identical queries, and optionally
+sharding distinct queries across a :class:`~concurrent.futures
+.ProcessPoolExecutor` whose workers rebuild the graph from the shared
+int32 CSR arrays exactly once (fork start method inherits the pages
+copy-on-write; spawn falls back to one pickled payload per worker).
+
+Results are **byte-identical to cold single queries** by construction:
+the pool is a pure cache, cache keys are canonical, and the oracle /
+property suites under ``tests/serving`` enforce the equivalence against
+both the direct API and the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.influential.api import top_r_communities
+from repro.influential.results import ResultSet
+from repro.serving.cache import LRUCache
+from repro.serving.engine_pool import ExpansionEnginePool
+from repro.serving.query import InfluentialQuery
+
+__all__ = ["QueryService"]
+
+_MISS = object()
+
+
+class QueryService:
+    """Serve many top-r influential-community queries over one graph.
+
+    Usage::
+
+        service = QueryService(graph)
+        best = service.submit(InfluentialQuery(k=4, r=5, f="sum"))
+        batch = service.submit_many(workload)          # list[ResultSet]
+        service.update_weights(new_weights)            # invalidates results
+
+    Thread-unsafe by design (wrap submissions in a lock, or give each
+    thread its own service over the shared graph); process-parallelism is
+    built in via ``submit_many(..., workers=N)``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        backend: str = "auto",
+        cache_size: int = 1024,
+        pool_capacity: int = 1024,
+    ) -> None:
+        self._graph = graph
+        self._backend = backend
+        self._cache_size = cache_size
+        self._pool_capacity = pool_capacity
+        graph.csr  # noqa: B018 — warm the flattening once, up front
+        self._pool = ExpansionEnginePool(graph, capacity=pool_capacity)
+        self._pool.core_numbers  # noqa: B018 — eager: seeds + kmax fast path
+        self._results = LRUCache(cache_size)
+        self._truss_numbers: dict[tuple[int, int], int] | None = None
+        self.queries_served = 0
+        self.solver_calls = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Shared state accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The graph currently being served (changes on weight updates)."""
+        return self._graph
+
+    @property
+    def core_numbers(self) -> np.ndarray:
+        """Cached core number per vertex."""
+        return self._pool.core_numbers
+
+    @property
+    def kmax(self) -> int:
+        """Maximum core number (queries with ``k > kmax`` short-circuit)."""
+        return self._pool.kmax
+
+    @property
+    def truss_numbers(self) -> dict[tuple[int, int], int]:
+        """Cached truss number per edge (computed on first truss query)."""
+        if self._truss_numbers is None:
+            from repro.truss.decomposition import truss_decomposition
+
+            self._truss_numbers = truss_decomposition(
+                self._graph, backend=self._backend
+            )
+        return self._truss_numbers
+
+    @property
+    def tmax(self) -> int:
+        """Largest k with a non-empty k-truss (0 on edgeless graphs)."""
+        numbers = self.truss_numbers
+        return max(numbers.values()) if numbers else 0
+
+    @property
+    def engine_pool(self) -> ExpansionEnginePool:
+        """The shared expansion-engine pool (exposed for diagnostics)."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self, query: "InfluentialQuery | Mapping[str, object]", **overrides
+    ) -> ResultSet:
+        """Answer one query, from cache when possible."""
+        query = InfluentialQuery.create(query, **overrides)
+        key = query.cache_key()
+        cached = self._results.get(key, _MISS)
+        self.queries_served += 1
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        result = self._solve(query)
+        self._results.put(key, result)
+        return result
+
+    def submit_many(
+        self,
+        queries: Iterable["InfluentialQuery | Mapping[str, object]"],
+        workers: int | None = None,
+    ) -> list[ResultSet]:
+        """Answer a batch, in submission order.
+
+        ``workers > 1`` shards the *distinct, uncached* queries across a
+        process pool; duplicates are answered once, and every computed
+        result lands in this service's cache for later batches.  A query
+        that raises (malformed spec, method mismatch) raises here exactly
+        as it would cold, whichever path computed it.
+        """
+        batch = [InfluentialQuery.create(q) for q in queries]
+        if workers is None or workers <= 1 or len(batch) <= 1:
+            return [self.submit(query) for query in batch]
+
+        # Distinct cache keys, first submission wins the solve.
+        distinct: dict[tuple, InfluentialQuery] = {}
+        for query in batch:
+            distinct.setdefault(query.cache_key(), query)
+        resolved: dict[tuple, ResultSet] = {}
+        todo: dict[tuple, InfluentialQuery] = {}
+        for key, query in distinct.items():
+            cached = self._results.get(key, _MISS)
+            if cached is _MISS:
+                todo[key] = query
+            else:
+                resolved[key] = cached  # type: ignore[assignment]
+        if todo:
+            shards: list[list[InfluentialQuery]] = [[] for _ in range(workers)]
+            for key, query in todo.items():
+                shards[hash(key) % workers].append(query)
+            shards = [shard for shard in shards if shard]
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=len(shards),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self._worker_payload(),),
+            ) as executor:
+                futures = [
+                    executor.submit(_worker_solve, shard) for shard in shards
+                ]
+                for shard, future in zip(shards, futures):
+                    for query, result in zip(shard, future.result()):
+                        key = query.cache_key()
+                        resolved[key] = result
+                        self._results.put(key, result)
+            self.solver_calls += len(todo)
+        self.queries_served += len(batch)
+        return [resolved[query.cache_key()] for query in batch]
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _effective_backend(self, query: InfluentialQuery) -> str:
+        return query.backend if query.backend != "auto" else self._backend
+
+    def _solve(self, query: InfluentialQuery) -> ResultSet:
+        self.solver_calls += 1
+        if query.cohesion == "truss":
+            return self._solve_truss(query)
+        return top_r_communities(
+            self._graph,
+            backend=self._effective_backend(query),
+            engine_pool=self._pool,
+            **query.solver_kwargs(),
+        )
+
+    def _solve_truss(self, query: InfluentialQuery) -> ResultSet:
+        from repro.influential.truss_search import (
+            truss_top_r_min,
+            truss_top_r_sum,
+        )
+
+        if query.s is not None or query.non_overlapping:
+            raise SolverError(
+                "truss cohesion serves the size-unconstrained overlapping "
+                "problem only"
+            )
+        aggregator = query.aggregator
+        backend = self._effective_backend(query)
+        if aggregator.is_size_proportional:
+            if query.k < 2 or query.r < 1:
+                # Delegate so parameter errors carry the solver's message.
+                return truss_top_r_sum(
+                    self._graph, query.k, query.r, aggregator, backend=backend
+                )
+            return self._truss_sum_from_numbers(query.k, query.r, aggregator)
+        if aggregator.name == "min":
+            # Invalid k/r must raise the solver's own error, never be
+            # swallowed (and cached) by the tmax short circuit.
+            if query.k >= 2 and query.r >= 1 and query.k > self.tmax:
+                return ResultSet(())
+            return truss_top_r_min(
+                self._graph, query.k, query.r, backend=backend
+            )
+        raise SolverError(
+            f"truss cohesion serves sum-family or min aggregators, "
+            f"not {aggregator.name!r}"
+        )
+
+    def _truss_sum_from_numbers(self, k, r, aggregator) -> ResultSet:
+        """``truss_top_r_sum`` served from the cached truss decomposition.
+
+        The maximal k-truss is exactly the edges with truss number >= k,
+        so no per-query support peel runs; the component split mirrors
+        :func:`repro.truss.ktruss.connected_ktruss_components` (connectivity
+        over surviving truss edges, components emitted smallest member
+        first), which keeps served answers identical to the solver's —
+        the truss golden tests pin the equivalence.
+        """
+        from repro.influential.community import community_from_vertices
+        from repro.utils.topr import TopR
+
+        adjacency: dict[int, set[int]] = {}
+        for (u, v), t in self.truss_numbers.items():
+            if t >= k:
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+        top: TopR = TopR(r, key=lambda c: c.value)
+        unvisited = set(adjacency)
+        for seed in sorted(adjacency):
+            if seed not in unvisited:
+                continue
+            component = {seed}
+            unvisited.discard(seed)
+            stack = [seed]
+            while stack:
+                x = stack.pop()
+                for w in adjacency[x] & unvisited:
+                    unvisited.discard(w)
+                    component.add(w)
+                    stack.append(w)
+            top.offer(
+                community_from_vertices(self._graph, component, aggregator, k)
+            )
+        return ResultSet(top.ranked())
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def update_weights(self, weights: "np.ndarray | Sequence[float]") -> None:
+        """Serve a re-weighted twin of the graph.
+
+        Topology-derived state (CSR, decompositions, every relabelled
+        structure in the engine pool) survives; the result cache — whose
+        entries embed influence values — is fully invalidated.
+        """
+        graph = self._graph.with_weights(weights)
+        self._graph = graph
+        self._pool.reweight(graph)
+        self.invalidations += len(self._results)
+        self._results.clear()
+
+    def replace_graph(self, graph: Graph) -> None:
+        """Point the service at a different graph (full cache reset)."""
+        self._graph = graph
+        graph.csr  # noqa: B018
+        self._pool = ExpansionEnginePool(graph, capacity=self._pool_capacity)
+        self._pool.core_numbers  # noqa: B018
+        self.invalidations += len(self._results)
+        self._results.clear()
+        self._truss_numbers = None
+
+    def invalidate(self, k: int | None = None) -> int:
+        """Drop cached results — all of them, or only degree constraint k.
+
+        Returns the number of entries dropped.  Cache keys place ``k`` at
+        index 1 (see :meth:`InfluentialQuery.cache_key`).
+        """
+        if k is None:
+            dropped = len(self._results)
+            self._results.clear()
+        else:
+            dropped = self._results.invalidate_where(lambda key: key[1] == k)
+        self.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection / worker plumbing
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Serving counters plus both caches' stats, JSON-ready."""
+        return {
+            "graph": {"n": self._graph.n, "m": self._graph.m},
+            "kmax": self.kmax,
+            "queries_served": self.queries_served,
+            "solver_calls": self.solver_calls,
+            "invalidations": self.invalidations,
+            "result_cache": self._results.stats(),
+            "engine_pool": self._pool.stats(),
+        }
+
+    def _worker_payload(self) -> dict[str, object]:
+        csr = self._graph.csr
+        return {
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+            "weights": self._graph.weights,
+            "labels": self._graph.labels,
+            "backend": self._backend,
+            "cache_size": self._cache_size,
+            "pool_capacity": self._pool_capacity,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(n={self._graph.n}, m={self._graph.m}, "
+            f"served={self.queries_served}, cached={len(self._results)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-pool workers (module level: must be picklable by reference)
+# ----------------------------------------------------------------------
+_WORKER_SERVICE: QueryService | None = None
+
+
+def _worker_init(payload: dict) -> None:
+    """Build this worker's service once, from the shared CSR arrays."""
+    global _WORKER_SERVICE
+    from repro.graphs.builder import graph_from_csr_arrays
+
+    graph = graph_from_csr_arrays(
+        payload["indptr"],
+        payload["indices"],
+        payload["weights"],
+        labels=payload["labels"],
+    )
+    _WORKER_SERVICE = QueryService(
+        graph,
+        backend=payload["backend"],
+        cache_size=payload["cache_size"],
+        pool_capacity=payload["pool_capacity"],
+    )
+
+
+def _worker_solve(shard: list[InfluentialQuery]) -> list[ResultSet]:
+    """Answer one shard through the worker-local service."""
+    assert _WORKER_SERVICE is not None, "worker initializer did not run"
+    return [_WORKER_SERVICE.submit(query) for query in shard]

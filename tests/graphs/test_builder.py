@@ -98,3 +98,54 @@ def test_graph_from_edges_insufficient_weights():
 def test_negative_builder_size_rejected():
     with pytest.raises(GraphError):
         GraphBuilder(-2)
+
+
+# ----------------------------------------------------------------------
+# graph_from_csr_arrays (the serving workers' reconstruction path)
+# ----------------------------------------------------------------------
+def test_graph_from_csr_arrays_round_trip():
+    import numpy as np
+
+    from repro.graphs.builder import graph_from_csr_arrays
+
+    original = graph_from_edges(
+        [(0, 1), (1, 2), (0, 2), (2, 3)], weights=[1.0, 2.0, 3.0, 4.0]
+    )
+    csr = original.csr
+    rebuilt = graph_from_csr_arrays(
+        csr.indptr, csr.indices, original.weights, labels=["a", "b", "c", "d"]
+    )
+    assert rebuilt.n == original.n and rebuilt.m == original.m
+    assert rebuilt.adjacency == original.adjacency
+    assert rebuilt.weights.tolist() == original.weights.tolist()
+    assert rebuilt.label_of(3) == "d"
+    # The CSR cache is seeded directly — no re-flattening.
+    assert rebuilt.has_csr
+    assert np.array_equal(rebuilt.csr.indptr, csr.indptr)
+    assert np.array_equal(rebuilt.csr.indices, csr.indices)
+
+
+def test_graph_from_csr_arrays_empty_graph():
+    import numpy as np
+
+    from repro.graphs.builder import graph_from_csr_arrays
+
+    graph = graph_from_csr_arrays(np.zeros(1, dtype=np.int64), np.empty(0))
+    assert graph.n == 0 and graph.m == 0
+
+
+def test_graph_from_csr_arrays_rejects_malformed_payloads():
+    import numpy as np
+
+    from repro.graphs.builder import graph_from_csr_arrays
+
+    with pytest.raises(GraphError):  # indptr/indices length mismatch
+        graph_from_csr_arrays(np.array([0, 2]), np.array([1]))
+    with pytest.raises(GraphError):  # duplicate neighbour in a run
+        graph_from_csr_arrays(np.array([0, 2, 4]), np.array([1, 1, 0, 0]))
+    with pytest.raises(GraphError):  # unsorted neighbour run
+        graph_from_csr_arrays(
+            np.array([0, 2, 3, 5]), np.array([2, 1, 2, 0, 1])
+        )
+    with pytest.raises(GraphError):  # asymmetric adjacency
+        graph_from_csr_arrays(np.array([0, 1, 1]), np.array([1]))

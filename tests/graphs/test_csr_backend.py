@@ -143,8 +143,14 @@ def test_decrement_degrees_both_strategies():
 
 
 def test_backend_registry():
-    assert get_default_backend() == "csr"
-    assert resolve_backend("auto") == "csr"
+    import os
+
+    # CI runs the suite on a {set, csr} matrix via REPRO_GRAPH_BACKEND, so
+    # the ambient default is whatever the environment selected (csr when
+    # unset) — the scoping mechanics must hold either way.
+    ambient = os.environ.get("REPRO_GRAPH_BACKEND", "csr")
+    assert get_default_backend() == ambient
+    assert resolve_backend("auto") == ambient
     assert resolve_backend("set") == "set"
     with use_backend("set"):
         assert get_default_backend() == "set"
@@ -152,11 +158,37 @@ def test_backend_registry():
         with use_backend("csr"):
             assert get_default_backend() == "csr"
         assert get_default_backend() == "set"
-    assert get_default_backend() == "csr"
+    assert get_default_backend() == ambient
     with pytest.raises(GraphError):
         resolve_backend("bogus")
     with pytest.raises(GraphError):
         set_default_backend("bogus")
+
+
+def test_backend_env_override_subprocess():
+    """REPRO_GRAPH_BACKEND seeds the initial default (and rejects typos)."""
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.graphs.backend import get_default_backend; "
+        "print(get_default_backend())"
+    )
+    for name in ("set", "csr"):
+        env = {**os.environ, "REPRO_GRAPH_BACKEND": name}
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == name
+    env = {**os.environ, "REPRO_GRAPH_BACKEND": "bogus"}
+    failed = subprocess.run(
+        [sys.executable, "-c", script], env=env,
+        capture_output=True, text=True,
+    )
+    assert failed.returncode != 0
+    assert "REPRO_GRAPH_BACKEND" in failed.stderr
 
 
 def test_index_dtype_is_int32_with_overflow_guard():

@@ -89,3 +89,54 @@ def test_parser_help_lists_subcommands():
     help_text = parser.format_help()
     for sub in ("search", "datasets", "bench", "casestudy"):
         assert sub in help_text
+
+
+def test_batch_workload(tmp_path, capsys):
+    import json
+
+    workload = tmp_path / "wl.json"
+    workload.write_text(json.dumps([
+        {"k": 4, "r": 2, "f": "sum"},
+        {"k": 4, "r": 2, "f": "sum"},          # duplicate: served from cache
+        {"k": 6, "r": 1, "f": "min"},
+        {"k": 99, "r": 2, "f": "sum"},         # above kmax: empty, no error
+    ]))
+    out_path = tmp_path / "results.json"
+    code = main([
+        "batch", "--dataset", "domainpub", "--workload", str(workload),
+        "--stats", "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[4/4]" in out
+    assert "queries/sec" in out
+    assert '"result_cache"' in out
+    payload = json.loads(out_path.read_text())
+    assert len(payload) == 4
+    assert payload[0]["values"] == payload[1]["values"]
+    assert payload[3]["communities"] == []
+
+
+def test_batch_rejects_non_array_workload(tmp_path, capsys):
+    workload = tmp_path / "wl.json"
+    workload.write_text('{"k": 4}')
+    code = main([
+        "batch", "--dataset", "domainpub", "--workload", str(workload),
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_batch_requires_workload():
+    with pytest.raises(SystemExit):
+        main(["batch", "--dataset", "domainpub"])
+
+
+def test_batch_invalid_json_reported_as_error(tmp_path, capsys):
+    workload = tmp_path / "wl.json"
+    workload.write_text("not json {")
+    code = main([
+        "batch", "--dataset", "domainpub", "--workload", str(workload),
+    ])
+    assert code == 2
+    assert "not valid JSON" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""LRU cache semantics: recency, eviction, invalidation, stats."""
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+def test_put_get_roundtrip():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", 9) == 9
+    assert cache.stats() == {
+        "size": 1, "capacity": 4, "hits": 1, "misses": 2, "evictions": 0
+    }
+
+
+def test_eviction_is_least_recently_used():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a: b is now the LRU entry
+    cache.put("c", 3)       # evicts b
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_put_refreshes_recency_and_overwrites():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)      # refresh + overwrite; b becomes LRU
+    cache.put("c", 3)
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_zero_capacity_disables_storage():
+    cache = LRUCache(0)
+    cache.put("a", 1)
+    assert "a" not in cache
+    assert cache.get("a") is None
+    assert len(cache) == 0
+    assert cache.misses == 1 and cache.evictions == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_invalidate_single_key():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    assert cache.invalidate("a") is True
+    assert cache.invalidate("a") is False
+    assert "a" not in cache
+
+
+def test_invalidate_where_predicate():
+    cache = LRUCache(8)
+    for k in range(6):
+        cache.put(("q", k), k)
+    dropped = cache.invalidate_where(lambda key: key[1] % 2 == 0)
+    assert dropped == 3
+    assert len(cache) == 3
+    assert ("q", 1) in cache and ("q", 0) not in cache
+
+
+def test_clear_keeps_lifetime_counters():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_contains_and_values_do_not_touch_counters():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert "a" in cache
+    assert cache.values() == [1, 2]
+    assert cache.hits == 0 and cache.misses == 0
+    # values() order is LRU-first: refreshing "a" moves it to the back.
+    cache.get("a")
+    assert cache.values() == [2, 1]
+
+
+def test_iteration_order_is_lru_first():
+    cache = LRUCache(4)
+    for key in ("a", "b", "c"):
+        cache.put(key, key)
+    cache.get("a")
+    assert list(cache) == ["b", "c", "a"]
