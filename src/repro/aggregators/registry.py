@@ -5,6 +5,25 @@ by string (``"sum"``, ``"avg"``, ``"sum-surplus(alpha=2)"`` ...); this
 registry resolves those names.  Parameterised aggregators accept an inline
 argument in the name or can be passed pre-constructed instances anywhere an
 aggregator is expected.
+
+Registered names map onto the paper's aggregation functions f (Table I;
+``docs/API.md`` carries the full notation table):
+
+=====================  ============  =====================================
+name                   paper          f(H) over member weights w(v)
+=====================  ============  =====================================
+``sum``                f_sum          Σ w(v)
+``avg``/``average``    f_avg          Σ w(v) / |H|
+``min``/``minimum``    f_min          min w(v)  (prior work's model)
+``max``/``maximum``    f_max          max w(v)
+``sum-surplus(α)``     f_ss,α         Σ w(v) − α·|H|   (α defaults to 1)
+``weight-density(β)``  f_wd,β         Σ w(v) / |H|^β   (β defaults to 1)
+``balanced-density``   f_bd           the balanced density variant
+=====================  ============  =====================================
+
+Spelling variants resolve to one canonical instance — the serving
+layer's cache keys use ``Aggregator.name``, so ``"sum-surplus(2)"`` and
+``"sum-surplus(alpha=2)"`` are the same cached query.
 """
 
 from __future__ import annotations

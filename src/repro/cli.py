@@ -5,6 +5,9 @@ Subcommands::
     repro search   --dataset email --k 4 --r 5 --f sum [--s 20] [--tonic]
     repro search   --edges graph.txt --weights w.txt ...
     repro batch    --dataset email --workload queries.json [--workers 4]
+    repro serve    --snapshot snap/ --port 8080 [--workers 4]
+    repro snapshot save --dataset email --out snap/ [--with-truss]
+    repro snapshot load snap/           # inspect + verify a snapshot
     repro datasets                      # list stand-ins with statistics
     repro bench    --exp fig2 [--out EXPERIMENTS.md]
     repro casestudy                     # the Fig 14 reproduction
@@ -19,6 +22,12 @@ JSON array of query objects whose fields mirror
 
     [{"k": 4, "r": 5, "f": "sum"},
      {"k": 6, "r": 3, "f": "sum-surplus(1)", "eps": 0.1}]
+
+``serve`` exposes the same service over HTTP (``POST /query``,
+``POST /batch`` with the workload schema above, ``POST /update-weights``,
+``GET /stats``, ``GET /healthz``); ``snapshot save``/``load`` persist a
+service's CSR arrays and cached decompositions so ``serve --snapshot``
+restarts come up without re-peeling anything.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -101,6 +110,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print serving stats (cache hit rates, pool reuse) after the run",
     )
 
+    serve = sub.add_parser(
+        "serve", help="serve queries over HTTP from one shared QueryService"
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--dataset", help="a stand-in dataset name (see `datasets`)"
+    )
+    serve_source.add_argument("--edges", help="path to a SNAP-style edge list")
+    serve_source.add_argument(
+        "--snapshot",
+        help="a snapshot directory (see `snapshot save`) — the fast path: "
+        "mmaps the arrays and skips all decomposition work",
+    )
+    serve.add_argument("--weights", help="path to a vertex-weight file")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="solver worker processes (0 = a single solver thread)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--backend", default="auto", help="graph backend: auto|set|csr"
+    )
+    serve.add_argument(
+        "--max-body-mb", type=int, default=64,
+        help="largest accepted request body in MB (weight vectors for "
+        "multi-million-vertex graphs need more than the default)",
+    )
+
+    snapshot = sub.add_parser(
+        "snapshot", help="save/load persistent graph snapshots"
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="persist a graph + decompositions to a directory"
+    )
+    snap_source = snap_save.add_mutually_exclusive_group(required=True)
+    snap_source.add_argument(
+        "--dataset", help="a stand-in dataset name (see `datasets`)"
+    )
+    snap_source.add_argument(
+        "--edges", help="path to a SNAP-style edge list"
+    )
+    snap_save.add_argument("--weights", help="path to a vertex-weight file")
+    snap_save.add_argument(
+        "--out", required=True, help="snapshot directory to write"
+    )
+    snap_save.add_argument(
+        "--with-truss", action="store_true",
+        help="also compute and persist the truss decomposition",
+    )
+    snap_load = snap_sub.add_parser(
+        "load", help="load a snapshot, verify it, and print its manifest"
+    )
+    snap_load.add_argument("path", help="snapshot directory")
+
     sub.add_parser("datasets", help="list the stand-in datasets with statistics")
 
     bench = sub.add_parser("bench", help="run paper experiments")
@@ -160,7 +229,12 @@ def _load_graph(args: argparse.Namespace):
     from repro.graphs.io import load_edge_list, load_weights
 
     if args.dataset:
-        return snap_like_graph(args.dataset)
+        graph = snap_like_graph(args.dataset)
+        if args.weights:
+            # --weights overrides the stand-in's baked-in weights, same
+            # as it does for --edges graphs.
+            return graph.with_weights(load_weights(args.weights, graph.n))
+        return graph
     graph, __ = load_edge_list(args.edges)
     if args.weights:
         return graph.with_weights(load_weights(args.weights, graph.n))
@@ -222,6 +296,102 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serving.http import serve
+    from repro.serving.service import QueryService
+    from repro.serving.store import load_service
+
+    start = time.perf_counter()
+    if args.snapshot:
+        service = load_service(
+            args.snapshot, backend=args.backend, cache_size=args.cache_size
+        )
+        if args.weights:
+            # Serve the snapshot's topology under fresh weights (topology
+            # caches survive; the persisted weights are simply replaced).
+            from repro.graphs.io import load_weights
+
+            service.update_weights(
+                load_weights(args.weights, service.graph.n)
+            )
+        source = f"snapshot {args.snapshot}"
+    else:
+        graph = _load_graph(args)
+        service = QueryService(
+            graph, backend=args.backend, cache_size=args.cache_size
+        )
+        source = args.dataset or args.edges
+    ready = time.perf_counter() - start
+    graph = service.graph
+    print(
+        f"serving {source}: n={graph.n}, m={graph.m}, kmax={service.kmax} "
+        f"(ready in {ready:.3f}s)"
+    )
+
+    def banner(server) -> None:
+        # Only after a successful bind — scripts key off this line.
+        print(
+            f"listening on http://{args.host}:{args.port} — try: "
+            f"curl -s http://{args.host}:{args.port}/healthz"
+        )
+
+    try:
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_body_bytes=args.max_body_mb * 1024 * 1024,
+            on_ready=banner,
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot bind http://{args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    from repro.serving.service import QueryService
+    from repro.serving.store import load_service, save_snapshot
+
+    if args.snapshot_command == "save":
+        graph = _load_graph(args)
+        service = QueryService(graph)
+        path = save_snapshot(
+            service, args.out,
+            include_truss=True if args.with_truss else "auto",
+        )
+        print(
+            f"wrote snapshot {path}: n={graph.n}, m={graph.m}, "
+            f"kmax={service.kmax}"
+            + (", truss included" if args.with_truss else "")
+        )
+        return 0
+
+    start = time.perf_counter()
+    service = load_service(args.path)
+    elapsed = time.perf_counter() - start
+    manifest = json.loads(
+        (pathlib.Path(args.path) / "manifest.json").read_text()
+    )
+    print(json.dumps(manifest, indent=2))
+    print(
+        f"loaded and verified in {elapsed:.3f}s "
+        f"(n={service.graph.n}, m={service.graph.m}, kmax={service.kmax}, "
+        f"no decompositions recomputed)"
+    )
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.bench.datasets import dataset_statistics_table
 
@@ -263,6 +433,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "search": _cmd_search,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
+        "snapshot": _cmd_snapshot,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
         "casestudy": _cmd_casestudy,

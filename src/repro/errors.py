@@ -45,5 +45,10 @@ class DatasetError(ReproError):
     """Raised when a benchmark dataset cannot be produced or located."""
 
 
+class SnapshotError(ReproError):
+    """Raised when a persistent graph snapshot is missing, truncated, or
+    inconsistent with its manifest."""
+
+
 class CertificationError(ReproError):
     """Raised when a claimed solution fails certification checks."""

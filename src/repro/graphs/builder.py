@@ -140,6 +140,7 @@ def graph_from_csr_arrays(
     indices,
     weights: Sequence[float] | None = None,
     labels: Sequence[str] | None = None,
+    trusted: bool = False,
 ) -> Graph:
     """Rebuild a :class:`Graph` from flat CSR arrays.
 
@@ -149,6 +150,13 @@ def graph_from_csr_arrays(
     anything.  Both backends come up warm — the set adjacency is built
     from the neighbour runs and the CSR cache is seeded directly from the
     (validated) arrays, so no flattening cost is paid either.
+
+    ``trusted=True`` skips the per-edge symmetry/self-loop re-validation
+    (an O(m) Python loop that dominates reconstruction time).  The cheap
+    vectorised shape/sortedness checks still run.  Reserve it for arrays
+    this process produced or a manifest already vouches for — snapshot
+    loads (:func:`repro.serving.store.load_snapshot`) and same-machine
+    worker payloads — never for arrays off the wire.
     """
     from repro.graphs.csr import CSRAdjacency
 
@@ -178,8 +186,9 @@ def graph_from_csr_arrays(
         if np.any(descending & ~boundary):
             raise GraphError("neighbour runs must be sorted ascending")
     # The Graph constructor re-validates symmetry/self-loops/ranges — CSR
-    # payloads cross process boundaries, so they are not trusted input.
-    graph = Graph(adjacency, weights, labels=labels)
+    # payloads cross process boundaries, so by default they are not
+    # trusted input.
+    graph = Graph(adjacency, weights, labels=labels, _trusted=trusted)
     graph._csr = CSRAdjacency(indptr, indices)
     return graph
 

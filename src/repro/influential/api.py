@@ -16,6 +16,17 @@ size-constrained     any (tiny graphs)    Algorithm 3 via ``method="exact"``
 Non-overlapping (TONIC) requests use the disjoint-component shortcut for
 size-proportional aggregators, greedy disjoint selection over the full
 family for min/max, and accept-and-remove local search otherwise.
+
+Parameter names are the paper's symbols (see ``docs/API.md`` for the
+full mapping): ``k`` is the degree constraint of the connected-k-core
+community model (Definition 2), ``r`` the number of communities
+returned, ``f`` the aggregation function f ∈ {sum, avg, min, max,
+sum-surplus_α, weight-density_β, balanced-density} applied to the
+member weights, ``s`` the optional size cap |H| <= s of Problem 3,
+``eps`` the ε of Algorithm 2's (1−ε)-approximate pruned search (ε = 0
+is exact), and ``non_overlapping`` the TONIC variant (Problem 2).
+``backend`` is not paper notation — it picks the execution engine
+("csr" vectorised, "set" reference) and never changes answers.
 """
 
 from __future__ import annotations
@@ -229,11 +240,13 @@ def _auto_dispatch(
 
 
 def top_r_many(
-    graph: Graph,
+    graph: "Graph | None",
     queries,
     backend: str = "auto",
     cache_size: int = 1024,
     workers: int | None = None,
+    service=None,
+    snapshot=None,
 ) -> "list[ResultSet]":
     """Answer a batch of queries over one graph with shared serving state.
 
@@ -248,8 +261,31 @@ def top_r_many(
     :func:`top_r_communities` per query; long-lived callers should hold a
     :class:`~repro.serving.service.QueryService` themselves so the caches
     survive across batches.
+
+    Two alternatives to ``graph`` skip the cold construction cost:
+    ``service=`` answers through an existing
+    :class:`~repro.serving.service.QueryService` (its caches persist for
+    the caller), and ``snapshot=`` stands the service up from a snapshot
+    directory written by :func:`repro.serving.store.save_snapshot` —
+    mmapped arrays, no decomposition recomputed.  Exactly one of
+    ``graph``/``service``/``snapshot`` must be given.
     """
     from repro.serving.service import QueryService
 
-    service = QueryService(graph, backend=backend, cache_size=cache_size)
+    sources = sum(x is not None for x in (graph, service, snapshot))
+    if sources != 1:
+        raise SolverError(
+            "top_r_many needs exactly one of graph=, service= or snapshot="
+        )
+    if service is None:
+        if snapshot is not None:
+            from repro.serving.store import load_service
+
+            service = load_service(
+                snapshot, backend=backend, cache_size=cache_size
+            )
+        else:
+            service = QueryService(
+                graph, backend=backend, cache_size=cache_size
+            )
     return service.submit_many(queries, workers=workers)

@@ -14,22 +14,44 @@ together:
 * :class:`~repro.serving.service.QueryService` — loads a graph once,
   caches decompositions and results, answers batches, and shards
   independent queries across worker processes;
+* :mod:`~repro.serving.http` — the asyncio HTTP front end
+  (:class:`~repro.serving.http.ServingApp`, :func:`~repro.serving.http
+  .serve`) with single-flight request coalescing;
+* :mod:`~repro.serving.store` — persistent graph snapshots
+  (:func:`~repro.serving.store.save_snapshot` /
+  :func:`~repro.serving.store.load_service`): mmapped CSR arrays,
+  weights, labels and cached decompositions, so a restarted server
+  skips both graph rebuild and re-peeling;
 * :mod:`~repro.serving.oracle` — the small-graph oracle harness pinning
   every served answer to the brute-force reference.
 
 Entry points: ``QueryService(graph).submit(...)`` /
 ``submit_many(...)``, :func:`repro.influential.api.top_r_many`, and the
-``repro batch`` CLI subcommand.
+``repro batch`` / ``repro serve`` / ``repro snapshot`` CLI subcommands.
 """
 
 from repro.serving.cache import LRUCache
 from repro.serving.engine_pool import ExpansionEnginePool
+from repro.serving.http import ServingApp, run_server_in_thread, serve
 from repro.serving.query import InfluentialQuery
 from repro.serving.service import QueryService
+from repro.serving.store import (
+    Snapshot,
+    load_service,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "ExpansionEnginePool",
     "InfluentialQuery",
     "LRUCache",
     "QueryService",
+    "ServingApp",
+    "Snapshot",
+    "load_service",
+    "load_snapshot",
+    "run_server_in_thread",
+    "save_snapshot",
+    "serve",
 ]

@@ -100,6 +100,7 @@ class ExpansionEnginePool:
         hasher: ZobristHasher | None = None,
         capacity: int = 1024,
         k_state_capacity: int = 32,
+        core_numbers: np.ndarray | None = None,
     ) -> None:
         if k_state_capacity < 1:
             raise ValueError(
@@ -111,7 +112,14 @@ class ExpansionEnginePool:
             raise ValueError(
                 f"hasher covers {len(self.hasher)} vertices, graph has {graph.n}"
             )
-        self._cores: np.ndarray | None = None
+        if core_numbers is not None and core_numbers.shape != (graph.n,):
+            raise ValueError(
+                f"core_numbers shape {core_numbers.shape} does not match "
+                f"{graph.n} vertices"
+            )
+        # A precomputed decomposition (a loaded snapshot, typically) seeds
+        # the cache: the pool then never peels the full graph at all.
+        self._cores: np.ndarray | None = core_numbers
         # LRU over per-k seed state: each non-empty entry pins an O(n)
         # ownership array plus the k's seed structures, the dominant
         # memory of a long-lived pool — a k-sweeping workload must not

@@ -1,0 +1,702 @@
+"""Asyncio HTTP front end over one process-wide :class:`QueryService`.
+
+``repro serve`` turns the in-process serving layer into a deployable
+online service using nothing beyond the standard library: an
+``asyncio.start_server`` loop speaking enough HTTP/1.1 (keep-alive,
+``Content-Length`` bodies, JSON in and out) for any client from ``curl``
+to a load balancer.  The JSON schemas are exactly the ones the
+``repro batch`` CLI already reads and writes, so a workload file can be
+replayed against a live server unchanged.
+
+Endpoints
+---------
+=======  =================  ====================================================
+method   path               body → response
+=======  =================  ====================================================
+GET      ``/``              service banner: version, graph shape, endpoints
+GET      ``/healthz``       liveness: ``{"status": "ok", ...}``
+GET      ``/stats``         serving counters + cache/pool stats + HTTP counters
+POST     ``/query``         one query object → one result payload
+POST     ``/batch``         array of query objects → ordered result payloads
+POST     ``/update-weights``  ``{"weights": [...]}`` → invalidation summary
+POST     ``/invalidate``    ``{"k": 4}`` (or ``{}`` for all) → entries dropped
+=======  =================  ====================================================
+
+Concurrency model
+-----------------
+The event loop never runs a solver.  Each request is validated into an
+:class:`~repro.serving.query.InfluentialQuery` on the loop; its canonical
+:meth:`~repro.serving.query.InfluentialQuery.cache_key` is probed against
+the service's result cache (a hit answers inline), and misses are
+dispatched off the loop:
+
+* ``workers=0`` (default) — a dedicated single solver thread.  One
+  thread, because :class:`~repro.serving.service.QueryService`'s engine
+  pool is deliberately lock-free; the loop thread touches only the
+  result cache, which the solver thread never does (solves go through
+  the cache-free ``_solve``).
+* ``workers=N`` — the same :class:`~concurrent.futures
+  .ProcessPoolExecutor` machinery as ``submit_many(..., workers=N)``,
+  kept **persistent** across requests: workers build their service once
+  from the shared CSR payload (decompositions included, so they never
+  re-peel) and solve queries round-robin.
+
+**Single-flight dedup:** concurrent requests whose queries share a cache
+key coalesce onto one in-flight computation — the first arrival creates
+an :class:`asyncio.Future` under the key, later arrivals await the same
+future, and exactly one solver call runs (``tests/serving/test_http.py``
+pins ``solver_calls == 1`` under a concurrent burst).
+
+Weight updates bump an *epoch*: in-flight solves started under an older
+epoch still answer their waiters (they were admitted before the update
+completed) but are not written back to the cache, so no stale value
+outlives the invalidation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Awaitable, Callable, Mapping
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ReproError, SpecError
+from repro.influential.results import ResultSet
+from repro.serving.query import InfluentialQuery
+from repro.serving.service import (
+    QueryService,
+    _worker_init,
+    _worker_solve_counted,
+)
+
+__all__ = ["ServingApp", "result_payload", "run_server_in_thread", "serve"]
+
+#: Largest accepted request body (a 1M-vertex weight vector is ~20 MB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Most headers accepted per request (memory guard, like the body cap).
+MAX_HEADER_LINES = 100
+
+#: Bodies past this parse on a worker thread instead of the event loop —
+#: a multi-megabyte weight vector must not stall /healthz while decoding.
+OFFLOAD_PARSE_BYTES = 1 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+def result_payload(query: InfluentialQuery, result: ResultSet) -> dict:
+    """The JSON body served for one answered query.
+
+    Matches the records ``repro batch --out`` writes, so HTTP answers and
+    batch-CLI answers diff cleanly; the test suite compares these payloads
+    against ones built from cold :func:`~repro.influential.api
+    .top_r_communities` runs to enforce byte-identical serving.
+    """
+    return {
+        "query": query.describe(),
+        "count": len(result),
+        "values": result.values(),
+        "communities": [sorted(c.vertices) for c in result],
+    }
+
+
+class _HTTPError(Exception):
+    """Internal: carry an HTTP status + JSON error body to the writer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServingApp:
+    """The HTTP application: routing, single-flight, executor dispatch.
+
+    Wraps one :class:`~repro.serving.service.QueryService`; see the module
+    docstring for the endpoint table and concurrency model.  Use
+    :func:`serve` for a blocking server, :func:`run_server_in_thread` to
+    host one inside tests/benchmarks, or :meth:`start` from an already
+    running event loop.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        workers: int = 0,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if workers < 0:
+            raise SpecError(f"workers must be >= 0, got {workers}")
+        self.service = service
+        self.workers = workers
+        # The default caps /update-weights around ~3M vertices of JSON;
+        # operators serving larger graphs raise it here (or via the CLI's
+        # --max-body-mb).
+        self.max_body_bytes = max_body_bytes
+        self._inflight: dict[tuple, asyncio.Task] = {}
+        self._epoch = 0
+        # Cleared while a weight update is in progress: new solves (and
+        # lazy process-pool creation, whose payload embeds the weights)
+        # wait for it, so nothing computes against half-updated state.
+        self._ready = asyncio.Event()
+        self._ready.set()
+        self._update_lock = asyncio.Lock()
+        self._solver_thread: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self.requests = 0
+        self.coalesced = 0
+        self.http_errors = 0
+        self._routes: dict[tuple[str, str], Callable[[object], Awaitable[dict]]] = {
+            ("GET", "/"): self._get_index,
+            ("GET", "/healthz"): self._get_healthz,
+            ("GET", "/stats"): self._get_stats,
+            ("POST", "/query"): self._post_query,
+            ("POST", "/batch"): self._post_batch,
+            ("POST", "/update-weights"): self._post_update_weights,
+            ("POST", "/invalidate"): self._post_invalidate,
+        }
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def _ensure_executors(self) -> None:
+        if self.workers == 0:
+            if self._solver_thread is None:
+                self._solver_thread = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-solver"
+                )
+        elif self._process_pool is None:
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self.service._worker_payload(),),
+            )
+
+    def shutdown_executors(self) -> None:
+        """Stop the solver thread / worker processes (idempotent)."""
+        if self._solver_thread is not None:
+            self._solver_thread.shutdown(wait=True)
+            self._solver_thread = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    async def _run_off_loop(self, fn, *args):
+        """Run ``fn`` on the solver thread (or a transient one)."""
+        loop = asyncio.get_running_loop()
+        if self.workers == 0:
+            self._ensure_executors()
+            return await loop.run_in_executor(self._solver_thread, fn, *args)
+        # Process-pool mode: the parent's pool/graph are never touched by
+        # solves (those live in the workers), so maintenance runs on a
+        # transient thread.  Deliberately no _ensure_executors here — the
+        # process pool must only come up through _compute, after the
+        # ready gate, so its payload never embeds mid-update weights.
+        return await loop.run_in_executor(None, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Single-flight answering
+    # ------------------------------------------------------------------
+    async def answer(self, query: InfluentialQuery) -> ResultSet:
+        """Answer one validated query through cache + single-flight.
+
+        The computation runs as its **own task**, shared by every request
+        that coalesces onto the key and shielded from their cancellation:
+        a batch member failing (or a client going away) never cancels a
+        solve that other requests are waiting on.
+        """
+        self.service.queries_served += 1
+        cached = self.service.peek(query)
+        if cached is not None:
+            return cached
+        key = query.cache_key()
+        task = self._inflight.get(key)
+        if task is not None:
+            self.coalesced += 1
+        else:
+            task = asyncio.get_running_loop().create_task(
+                self._compute_and_store(query)
+            )
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda done, key=key: self._retire(key, done)
+            )
+        return await asyncio.shield(task)
+
+    def _retire(self, key: tuple, task: asyncio.Task) -> None:
+        if self._inflight.get(key) is task:
+            del self._inflight[key]
+        if not task.cancelled():
+            task.exception()  # consume: waiters may all have gone away
+
+    async def _compute_and_store(self, query: InfluentialQuery) -> ResultSet:
+        # Wait out any in-progress weight update, then snapshot the epoch:
+        # a result computed against these weights is only cached while no
+        # newer update has invalidated them.  No await sits between the
+        # gate, the epoch read and the executor dispatch, so the pool a
+        # solve lands on always matches the epoch it captured.
+        await self._ready.wait()
+        epoch = self._epoch
+        result = await self._compute(query)
+        if self._epoch == epoch:
+            self.service.store(query, result)
+        return result
+
+    async def _compute(self, query: InfluentialQuery) -> ResultSet:
+        self._ensure_executors()
+        loop = asyncio.get_running_loop()
+        if self._process_pool is not None:
+            results, solved = await loop.run_in_executor(
+                self._process_pool, _worker_solve_counted, [query]
+            )
+            self.service.solver_calls += solved
+            return results[0]
+        # The solver thread runs the cache-free half of submit(): the
+        # result cache stays loop-owned, the engine pool solver-owned.
+        return await loop.run_in_executor(
+            self._solver_thread, self.service._solve, query
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (body → JSON-ready dict, or _HTTPError)
+    # ------------------------------------------------------------------
+    async def _get_index(self, body: object) -> dict:
+        graph = self.service.graph
+        return {
+            "service": "repro-topr-influential",
+            "version": __version__,
+            "graph": {"n": graph.n, "m": graph.m},
+            "kmax": self.service.kmax,
+            "workers": self.workers,
+            "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
+        }
+
+    async def _get_healthz(self, body: object) -> dict:
+        graph = self.service.graph
+        return {
+            "status": "ok",
+            "graph": {"n": graph.n, "m": graph.m},
+            "kmax": self.service.kmax,
+            "epoch": self._epoch,
+        }
+
+    async def _get_stats(self, body: object) -> dict:
+        # service.stats() walks the engine pool, which the solver thread
+        # may be mutating — read it from that thread so the two serialize.
+        stats = await self._run_off_loop(self.service.stats)
+        stats["http"] = {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "errors": self.http_errors,
+            "epoch": self._epoch,
+            "inflight": len(self._inflight),
+            "workers": self.workers,
+        }
+        return stats
+
+    def _parse_query(self, entry: object) -> InfluentialQuery:
+        if not isinstance(entry, Mapping):
+            raise _HTTPError(
+                400,
+                f"query must be a JSON object, got {type(entry).__name__}",
+            )
+        return InfluentialQuery.create(entry)
+
+    async def _post_query(self, body: object) -> dict:
+        query = self._parse_query(body)
+        result = await self.answer(query)
+        return result_payload(query, result)
+
+    async def _post_batch(self, body: object) -> dict:
+        if isinstance(body, Mapping) and "queries" in body:
+            body = body["queries"]
+        if not isinstance(body, list):
+            raise _HTTPError(
+                400,
+                "batch body must be a JSON array of query objects "
+                '(or {"queries": [...]})',
+            )
+        queries = [self._parse_query(entry) for entry in body]
+        start = time.perf_counter()
+        # return_exceptions: one bad member (e.g. a k the solver rejects)
+        # must not cancel its siblings — they may be coalesced with other
+        # connections' in-flight requests.  The batch still fails as a
+        # whole, after every member has settled.
+        results = await asyncio.gather(
+            *(self.answer(q) for q in queries), return_exceptions=True
+        )
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return {
+            "count": len(results),
+            "elapsed_seconds": round(time.perf_counter() - start, 6),
+            "results": [
+                result_payload(query, result)
+                for query, result in zip(queries, results)
+            ],
+        }
+
+    async def _post_update_weights(self, body: object) -> dict:
+        if not isinstance(body, Mapping) or "weights" not in body:
+            raise _HTTPError(400, 'body must be {"weights": [...]}')
+        weights = body["weights"]
+        n = self.service.graph.n
+        if not isinstance(weights, list) or len(weights) != n:
+            raise _HTTPError(
+                400, f"weights must be a JSON array of {n} numbers"
+            )
+        def _validated() -> np.ndarray:
+            # Full validation *before* any teardown: a bad body must 400
+            # without costing the worker pool, the in-flight solves, or
+            # the epoch.  with_weights builds a validated throwaway twin
+            # (finite, non-negative, right shape) and mutates nothing.
+            array = np.asarray(weights, dtype=np.float64)
+            self.service.graph.with_weights(array)
+            return array
+
+        try:
+            # Off-loop: coercing a multi-million-element list is loop-
+            # stalling work of its own (reads only, safe off-thread).
+            candidate = await asyncio.get_running_loop().run_in_executor(
+                None, _validated
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(
+                400, f"weights must be an array of numbers: {exc}"
+            )
+        async with self._update_lock:
+            # Gate new solves (and lazy pool creation) for the duration,
+            # admit no cache writes from the old weighting, and retire the
+            # old worker pool: solves already in flight drain against the
+            # old weights and answer their waiters, but their pre-bump
+            # epoch keeps them out of the invalidated cache.
+            self._ready.clear()
+            try:
+                self._epoch += 1
+                self._inflight.clear()
+                old_pool, self._process_pool = self._process_pool, None
+                if old_pool is not None:
+                    # Drain off-loop: a slow in-flight solve must not
+                    # freeze /healthz while the old workers wind down.
+                    # The next solve rebuilds the pool from the updated
+                    # payload (peel-free — the payload carries the
+                    # topology-derived decompositions unchanged).
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, old_pool.shutdown, True
+                    )
+                await self._run_off_loop(
+                    self.service._reweight_shared_state, candidate
+                )
+                self.service._drop_results()
+            finally:
+                self._ready.set()
+        return {
+            "status": "reweighted",
+            "n": n,
+            "epoch": self._epoch,
+            "invalidations": self.service.invalidations,
+        }
+
+    async def _post_invalidate(self, body: object) -> dict:
+        body = body if isinstance(body, Mapping) else {}
+        k = body.get("k")
+        if k is not None and (isinstance(k, bool) or not isinstance(k, int)):
+            raise _HTTPError(400, f'"k" must be an integer, got {k!r}')
+        if k is None:
+            # Full drop: also forget in-flight solves — nothing computed
+            # before this point may land in the cache afterwards.
+            self._epoch += 1
+            self._inflight.clear()
+        # Per-k drops touch only settled entries: an in-flight solve at
+        # this k was admitted before the invalidation and its weights are
+        # unchanged, so letting it finish (and cache) stays correct —
+        # and unrelated ks keep their single-flight entries.
+        dropped = self.service.invalidate(k)
+        return {"status": "invalidated", "k": k, "dropped": dropped}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+            # readline() reports an over-limit request/header line as a
+            # plain ValueError; treat it like any other unspeakable
+            # request — drop the connection.
+            ValueError,
+        ):
+            pass  # client went away (or sent garbage) mid-request
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers idling between keep-alive
+            # requests; ending this task *cancelled* makes 3.11's streams
+            # done-callback re-raise and log it, so absorb and just close.
+            pass
+        finally:
+            # CancelledError too: teardown may re-deliver the cancellation
+            # at the wait_closed() await inside this finally.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return False
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request line"}, False
+            )
+            return False
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADER_LINES:
+                await self._respond(
+                    writer, 431, {"error": "too many header fields"}, False
+                )
+                return False
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+
+        self.requests += 1
+        path = target.split("?", 1)[0]
+        if "transfer-encoding" in headers:
+            # Chunked (or any transfer-coded) bodies are not implemented;
+            # answering as if the body were empty would desync keep-alive
+            # framing, so refuse and close.
+            await self._respond(
+                writer,
+                501,
+                {"error": "transfer-encoding is not supported; "
+                          "send a Content-Length body"},
+                False,
+            )
+            return False
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.max_body_bytes:
+            await self._respond(
+                writer,
+                413 if length > self.max_body_bytes else 400,
+                {"error": f"unacceptable content-length {headers.get('content-length')!r}"},
+                False,
+            )
+            return False
+        raw = await reader.readexactly(length) if length else b""
+
+        status, payload = await self._dispatch(method.upper(), path, raw)
+        if status != 200:
+            self.http_errors += 1
+        await self._respond(writer, status, payload, keep_alive)
+        return keep_alive
+
+    async def _dispatch(
+        self, method: str, path: str, raw: bytes
+    ) -> tuple[int, dict]:
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(p == path for _m, p in self._routes):
+                return 405, {"error": f"{method} not allowed on {path}"}
+            return 404, {
+                "error": f"no route {path}",
+                "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
+            }
+        body: object = None
+        if raw:
+            try:
+                if len(raw) > OFFLOAD_PARSE_BYTES:
+                    # Decoding tens of MB of JSON takes ~seconds; keep the
+                    # loop answering health checks while it happens.
+                    body = await asyncio.get_running_loop().run_in_executor(
+                        None, json.loads, raw
+                    )
+                else:
+                    body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"body is not valid JSON: {exc}"}
+        try:
+            return 200, await handler(body)
+        except _HTTPError as exc:
+            return exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            # Spec/solver rejections: the client's request is at fault and
+            # carries the same message a cold library call would raise.
+            return 400, {"error": str(exc), "type": type(exc).__name__}
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 8080
+    ) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the asyncio server object."""
+        self._ensure_executors()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        on_ready: "Callable[[asyncio.AbstractServer], None] | None" = None,
+    ) -> None:
+        """Start and serve until cancelled.
+
+        ``on_ready`` fires once the socket is bound (the CLI prints its
+        "listening on ..." banner there — never before a successful bind).
+        """
+        server = await self.start(host, port)
+        if on_ready is not None:
+            on_ready(server)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            self.shutdown_executors()
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 0,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    on_ready: "Callable[[asyncio.AbstractServer], None] | None" = None,
+) -> None:
+    """Blocking entry point: serve ``service`` over HTTP until interrupted.
+
+    This is what ``repro serve`` calls after standing up the service (from
+    a dataset, an edge list, or — the fast path — a snapshot directory via
+    :func:`repro.serving.store.load_service`).  A failed bind raises
+    ``OSError`` before ``on_ready`` runs.
+    """
+    app = ServingApp(service, workers=workers, max_body_bytes=max_body_bytes)
+    try:
+        asyncio.run(app.run(host=host, port=port, on_ready=on_ready))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.shutdown_executors()
+
+
+@contextlib.contextmanager
+def run_server_in_thread(
+    service_or_app: "QueryService | ServingApp",
+    host: str = "127.0.0.1",
+    port: int = 0,
+):
+    """Host a server on a background thread; yields its base URL.
+
+    ``port=0`` binds an ephemeral port (the yielded URL carries the real
+    one).  Used by the HTTP tests, ``benchmarks/bench_http_serving.py``
+    and ``examples/serve_and_query.py`` to exercise true HTTP traffic
+    without a subprocess.
+    """
+    app = (
+        service_or_app
+        if isinstance(service_or_app, ServingApp)
+        else ServingApp(service_or_app)
+    )
+    started = threading.Event()
+    state: dict[str, object] = {}
+
+    def _runner() -> None:
+        async def _main() -> None:
+            server = await app.start(host, port)
+            state["port"] = server.sockets[0].getsockname()[1]
+            state["loop"] = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            state["stop"] = stop
+            started.set()
+            await stop.wait()
+            server.close()
+            await server.wait_closed()
+
+        try:
+            asyncio.run(_main())
+        except Exception as exc:  # pragma: no cover — surfaced via timeout
+            state["error"] = exc
+            started.set()
+
+    thread = threading.Thread(
+        target=_runner, name="repro-http", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=60):
+        raise RuntimeError("HTTP server thread failed to start in time")
+    if "error" in state:
+        raise RuntimeError(f"HTTP server failed to start: {state['error']}")
+    try:
+        yield f"http://{host}:{state['port']}"
+    finally:
+        loop: asyncio.AbstractEventLoop = state["loop"]  # type: ignore[assignment]
+        stop: asyncio.Event = state["stop"]  # type: ignore[assignment]
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(stop.set)
+        thread.join(timeout=60)
+        app.shutdown_executors()

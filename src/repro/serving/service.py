@@ -69,16 +69,24 @@ class QueryService:
         backend: str = "auto",
         cache_size: int = 1024,
         pool_capacity: int = 1024,
+        core_numbers: "np.ndarray | None" = None,
+        truss_numbers: "dict[tuple[int, int], int] | None" = None,
     ) -> None:
         self._graph = graph
         self._backend = backend
         self._cache_size = cache_size
         self._pool_capacity = pool_capacity
         graph.csr  # noqa: B018 — warm the flattening once, up front
-        self._pool = ExpansionEnginePool(graph, capacity=pool_capacity)
+        # ``core_numbers``/``truss_numbers`` seed the decomposition caches
+        # with precomputed arrays (a loaded snapshot, typically) so a fresh
+        # service comes up without re-peeling anything; when absent the core
+        # decomposition runs eagerly here (seeds + the kmax fast path).
+        self._pool = ExpansionEnginePool(
+            graph, capacity=pool_capacity, core_numbers=core_numbers
+        )
         self._pool.core_numbers  # noqa: B018 — eager: seeds + kmax fast path
         self._results = LRUCache(cache_size)
-        self._truss_numbers: dict[tuple[int, int], int] | None = None
+        self._truss_numbers = truss_numbers
         self.queries_served = 0
         self.solver_calls = 0
         self.invalidations = 0
@@ -139,6 +147,31 @@ class QueryService:
         result = self._solve(query)
         self._results.put(key, result)
         return result
+
+    def peek(
+        self, query: "InfluentialQuery | Mapping[str, object]"
+    ) -> ResultSet | None:
+        """The cached answer for ``query``, or ``None`` — never solves.
+
+        The HTTP front end uses this to split the cache probe from the
+        (event-loop-unfriendly) solve: a hit is answered inline, a miss is
+        dispatched to an executor and later recorded via :meth:`store`.
+        """
+        query = InfluentialQuery.create(query)
+        cached = self._results.get(query.cache_key(), _MISS)
+        return None if cached is _MISS else cached  # type: ignore[return-value]
+
+    def store(
+        self, query: "InfluentialQuery | Mapping[str, object]", result: ResultSet
+    ) -> None:
+        """Record an externally computed answer under ``query``'s key.
+
+        The result must be what a cold solve of ``query`` would return
+        (e.g. computed by a process-pool worker from the same snapshot) —
+        the cache trusts it exactly as it trusts its own solves.
+        """
+        query = InfluentialQuery.create(query)
+        self._results.put(query.cache_key(), result)
 
     def submit_many(
         self,
@@ -292,9 +325,24 @@ class QueryService:
         structure in the engine pool) survives; the result cache — whose
         entries embed influence values — is fully invalidated.
         """
+        self._reweight_shared_state(weights)
+        self._drop_results()
+
+    def _reweight_shared_state(
+        self, weights: "np.ndarray | Sequence[float]"
+    ) -> None:
+        """The engine-pool half of a weight update (no cache writes).
+
+        Split out so the HTTP front end can run this on its solver thread
+        (which owns the pool) while the result-cache drop happens on the
+        event-loop thread (which owns the cache).
+        """
         graph = self._graph.with_weights(weights)
         self._graph = graph
         self._pool.reweight(graph)
+
+    def _drop_results(self) -> None:
+        """The result-cache half of a weight update."""
         self.invalidations += len(self._results)
         self._results.clear()
 
@@ -347,6 +395,11 @@ class QueryService:
             "backend": self._backend,
             "cache_size": self._cache_size,
             "pool_capacity": self._pool_capacity,
+            # Ship the decompositions this service already paid for, so
+            # workers come up without re-peeling (fork shares the pages;
+            # spawn pickles them once per worker).
+            "core_numbers": self._pool.core_numbers,
+            "truss_numbers": self._truss_numbers,
         }
 
     def __repr__(self) -> str:
@@ -372,12 +425,17 @@ def _worker_init(payload: dict) -> None:
         payload["indices"],
         payload["weights"],
         labels=payload["labels"],
+        # Same-machine payload straight from the parent's validated Graph:
+        # skip the O(m) per-edge revalidation at every worker startup.
+        trusted=True,
     )
     _WORKER_SERVICE = QueryService(
         graph,
         backend=payload["backend"],
         cache_size=payload["cache_size"],
         pool_capacity=payload["pool_capacity"],
+        core_numbers=payload.get("core_numbers"),
+        truss_numbers=payload.get("truss_numbers"),
     )
 
 
@@ -385,3 +443,15 @@ def _worker_solve(shard: list[InfluentialQuery]) -> list[ResultSet]:
     """Answer one shard through the worker-local service."""
     assert _WORKER_SERVICE is not None, "worker initializer did not run"
     return [_WORKER_SERVICE.submit(query) for query in shard]
+
+
+def _worker_solve_counted(
+    shard: list[InfluentialQuery],
+) -> tuple[list[ResultSet], int]:
+    """Like :func:`_worker_solve`, also reporting how many solver calls
+    actually ran (a worker may answer from its local cache — the HTTP
+    front end's stats must not count those as solves)."""
+    assert _WORKER_SERVICE is not None, "worker initializer did not run"
+    before = _WORKER_SERVICE.solver_calls
+    results = [_WORKER_SERVICE.submit(query) for query in shard]
+    return results, _WORKER_SERVICE.solver_calls - before

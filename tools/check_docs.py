@@ -1,0 +1,67 @@
+"""Docs link checker: every relative link in the Markdown docs must resolve.
+
+Scans ``README.md``, ``docs/*.md`` and the other top-level Markdown files
+for inline links/images (``[text](target)``) and validates the relative
+ones against the working tree (anchors are stripped; external ``http(s)``/
+``mailto`` targets are skipped — CI must not depend on the network).
+Backticked path mentions (e.g. README's layout table) are prose, not
+links, and are deliberately out of scope.
+
+Run:  python tools/check_docs.py            # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links/images, excluding fenced-code occurrences (handled
+#: by stripping fences below).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(doc: Path) -> list[str]:
+    problems: list[str] = []
+    text = _FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    docs = iter_doc_files()
+    problems: list[str] = []
+    for doc in docs:
+        problems.extend(check_file(doc))
+    if problems:
+        for problem in problems:
+            print(f"::error::{problem}")
+        return 1
+    total = sum(
+        len(_LINK_RE.findall(_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))))
+        for doc in docs
+    )
+    print(f"checked {len(docs)} Markdown files, {total} links: all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
