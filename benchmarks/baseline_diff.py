@@ -1,0 +1,100 @@
+"""Shared warn-only baseline diffing for the CI benchmark smoke runs.
+
+Every ``bench_*.py --baseline`` run compares the speedup *ratios* of a
+fresh CI-sized measurement against a committed baseline report (absolute
+times differ per runner, ratios mostly do not) and used to carry its own
+copy of the compare loop.  This module is the single implementation:
+
+* :func:`report_ratio_metrics` prints the familiar ``ok`` /
+  ``::warning::`` console lines (never fails the run — the diff is
+  advisory), and
+* appends a Markdown table to ``$GITHUB_STEP_SUMMARY`` when Actions
+  provides one, so regressions are visible on the run page itself
+  instead of buried in annotation noise.
+
+A bench whose shapes do not match its baseline (different graph or
+workload sizes) passes ``notes=[...]`` with no metrics: the summary then
+records *why* the comparison was skipped rather than silently showing
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable, Sequence
+
+__all__ = ["report_ratio_metrics"]
+
+_OK = "✅ ok"
+_REGRESSED = "⚠️ regressed"
+
+
+def _summary_path() -> "pathlib.Path | None":
+    raw = os.environ.get("GITHUB_STEP_SUMMARY", "").strip()
+    return pathlib.Path(raw) if raw else None
+
+
+def report_ratio_metrics(
+    bench: str,
+    metrics: Iterable[Sequence[object]],
+    tolerance: float = 0.7,
+    notes: Iterable[str] = (),
+) -> int:
+    """Diff ``(label, fresh, baseline)`` speedup triples, warn-only.
+
+    A metric regresses when ``fresh < baseline * tolerance``.  Always
+    returns 0: regressions surface as ``::warning::`` annotations plus a
+    row in the step-summary table, never as a failed build — absolute CI
+    runner performance is too noisy to gate merges on.
+    """
+    rows: list[tuple[str, str, str, str, str]] = []
+    for label, fresh, baseline in metrics:
+        fresh_value, base_value = float(fresh), float(baseline)
+        floor = base_value * tolerance
+        if fresh_value < floor:
+            status = _REGRESSED
+            print(
+                f"::warning::{bench}: fresh {label} {fresh_value}x is below "
+                f"{tolerance:.0%} of the committed baseline {base_value}x"
+            )
+        else:
+            status = _OK
+            print(
+                f"{bench}: fresh {label} {fresh_value}x vs baseline "
+                f"{base_value}x — ok"
+            )
+        rows.append(
+            (label, f"{fresh_value}x", f"{base_value}x", f"{floor:.2f}x", status)
+        )
+    notes = list(notes)
+    for note in notes:
+        print(f"{bench}: {note}")
+    _append_step_summary(bench, rows, tolerance, notes)
+    return 0
+
+
+def _append_step_summary(
+    bench: str,
+    rows: list[tuple[str, str, str, str, str]],
+    tolerance: float,
+    notes: list[str],
+) -> None:
+    path = _summary_path()
+    if path is None:
+        return
+    lines = [f"### `{bench}` vs committed CI baseline", ""]
+    if rows:
+        lines += [
+            f"| metric | fresh | baseline | floor ({tolerance:.0%}) | status |",
+            "|---|---:|---:|---:|:---|",
+        ]
+        lines += [
+            f"| {label} | {fresh} | {baseline} | {floor} | {status} |"
+            for label, fresh, baseline, floor, status in rows
+        ]
+    for note in notes:
+        lines.append(f"> {note}")
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")

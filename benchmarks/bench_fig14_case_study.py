@@ -6,7 +6,6 @@ top-3 groups; avg's groups are no larger than sum's (elite vs diverse).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.bench.case_study import render_case_study, run_case_study

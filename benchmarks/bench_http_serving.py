@@ -248,39 +248,42 @@ def compare_to_baseline(
     cold-start speedup regresses past ``tolerance`` times the committed
     baseline.  Ratios only — absolute times differ by runner — and only
     when graph and workload shapes match."""
+    from baseline_diff import report_ratio_metrics
+
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
+    notes = []
     if not fresh_report.get("results_agree", False):
         print("::warning::http-serving: HTTP results disagree with cold run")
+        notes.append("HTTP results disagree with cold run")
     same_shape = (
         fresh_report.get("graph") == base_report.get("graph")
         and fresh_report.get("workload") == base_report.get("workload")
     )
     if not same_shape:
-        print(
-            "http-serving: graph/workload shapes differ from baseline — "
-            "speedups are not comparable, skipping"
+        return report_ratio_metrics(
+            "bench_http_serving",
+            [],
+            tolerance=tolerance,
+            notes=notes
+            + [
+                "graph/workload shapes differ from baseline — speedups are "
+                "not comparable, skipped"
+            ],
         )
-        return 0
-    for label, path in (
-        ("serving speedup", ("speedup",)),
-        ("cold-start speedup", ("cold_start", "speedup")),
-    ):
-        fresh_value, base_value = fresh_report, base_report
-        for key in path:
-            fresh_value, base_value = fresh_value[key], base_value[key]
-        if fresh_value < base_value * tolerance:
-            print(
-                f"::warning::http-serving: fresh {label} {fresh_value}x is "
-                f"below {tolerance:.0%} of the committed baseline "
-                f"{base_value}x"
-            )
-        else:
-            print(
-                f"http-serving: fresh {label} {fresh_value}x vs baseline "
-                f"{base_value}x — ok"
-            )
-    return 0
+    return report_ratio_metrics(
+        "bench_http_serving",
+        [
+            ("serving speedup", fresh_report["speedup"], base_report["speedup"]),
+            (
+                "cold-start speedup",
+                fresh_report["cold_start"]["speedup"],
+                base_report["cold_start"]["speedup"],
+            ),
+        ],
+        tolerance=tolerance,
+        notes=notes,
+    )
 
 
 def main() -> None:

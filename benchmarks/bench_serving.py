@@ -198,33 +198,41 @@ def compare_to_baseline(
     past ``tolerance`` times the committed baseline.  Only the speedup
     ratio is compared — absolute times differ by runner — and only when
     the graph and workload shapes match."""
+    from baseline_diff import report_ratio_metrics
+
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
+    notes = []
     if not fresh_report.get("results_agree", False):
         print("::warning::serving: pooled results disagree with cold run")
+        notes.append("pooled results disagree with cold run")
     same_shape = (
         fresh_report.get("graph") == base_report.get("graph")
         and fresh_report.get("workload") == base_report.get("workload")
     )
     if not same_shape:
-        print(
-            "serving: graph/workload shapes differ from baseline — "
-            "speedups are not comparable, skipping"
+        return report_ratio_metrics(
+            "bench_serving",
+            [],
+            tolerance=tolerance,
+            notes=notes
+            + [
+                "graph/workload shapes differ from baseline — speedups are "
+                "not comparable, skipped"
+            ],
         )
-        return 0
-    floor = base_report["speedup"] * tolerance
-    if fresh_report["speedup"] < floor:
-        print(
-            f"::warning::serving: fresh speedup {fresh_report['speedup']}x "
-            f"is below {tolerance:.0%} of the committed baseline "
-            f"{base_report['speedup']}x"
-        )
-    else:
-        print(
-            f"serving: fresh {fresh_report['speedup']}x vs baseline "
-            f"{base_report['speedup']}x — ok"
-        )
-    return 0
+    return report_ratio_metrics(
+        "bench_serving",
+        [
+            (
+                "pooled vs cold speedup",
+                fresh_report["speedup"],
+                base_report["speedup"],
+            )
+        ],
+        tolerance=tolerance,
+        notes=notes,
+    )
 
 
 def main() -> None:

@@ -188,41 +188,41 @@ def compare_to_baseline(
 ) -> int:
     """Warn (exit 0 always) when fresh speedups regress past ``tolerance``
     times the committed baseline.  CI calls this after a --ci run; graphs
-    differ from the committed full-size run, so only ratios are compared.
+    differ from the committed full-size run, so only ratios are compared
+    (and only per solver whose baseline graph shape matches the fresh
+    run's).  Console lines + the step-summary table come from
+    :mod:`baseline_diff`.
     """
+    from baseline_diff import report_ratio_metrics
+
     fresh_report = json.loads(fresh.read_text())
     baseline_report = json.loads(baseline.read_text())
+    metrics, notes = [], []
     for name, entry in fresh_report.get("solvers", {}).items():
         reference = baseline_report.get("solvers", {}).get(name)
         if reference is None:
             continue
         if not entry.get("results_agree", False):
             print(f"::warning::{name}: set/csr results disagree in fresh run")
+            notes.append(f"{name}: set/csr results disagree in fresh run")
         solver_key = name if name in fresh_report.get("graphs", {}) else (
             "tic_improved" if name.startswith("tic_improved") else name
         )
         fresh_graph = fresh_report.get("graphs", {}).get(solver_key)
         base_graph = baseline_report.get("graphs", {}).get(solver_key)
         if fresh_graph != base_graph:
-            print(
+            notes.append(
                 f"{name}: graph sizes differ from baseline "
                 f"({fresh_graph} vs {base_graph}) — speedup ratios are not "
-                f"comparable, skipping"
+                f"comparable, skipped"
             )
             continue
-        floor = reference["speedup"] * tolerance
-        if entry["speedup"] < floor:
-            print(
-                f"::warning::{name}: fresh speedup {entry['speedup']}x is "
-                f"below {tolerance:.0%} of the committed baseline "
-                f"{reference['speedup']}x"
-            )
-        else:
-            print(
-                f"{name}: fresh {entry['speedup']}x vs baseline "
-                f"{reference['speedup']}x — ok"
-            )
-    return 0
+        metrics.append(
+            (f"{name} set/csr speedup", entry["speedup"], reference["speedup"])
+        )
+    return report_ratio_metrics(
+        "bench_solvers", metrics, tolerance=tolerance, notes=notes
+    )
 
 
 if __name__ == "__main__":

@@ -10,16 +10,11 @@ and writes the measured speedups to ``BENCH_csr_backend.json``.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.aggregators.summation import Sum
 from repro.centrality.pagerank import pagerank
 from repro.core.decomposition import core_decomposition
-from repro.core.kcore import (
-    connected_kcore_components,
-    kcore_of_subset,
-    maximal_kcore,
-)
+from repro.core.kcore import connected_kcore_components, kcore_of_subset
 from repro.influential.expansion import ExpansionContext
 from repro.truss.decomposition import edge_supports
 from repro.utils.zobrist import ZobristHasher

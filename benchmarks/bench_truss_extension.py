@@ -7,7 +7,6 @@ the structural relationship (k-truss inside (k-1)-core) at dataset scale.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.core.decomposition import core_decomposition

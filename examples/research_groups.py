@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.bench.case_study import render_case_study, run_case_study
-from repro.graphs.generators.aminer import AminerSpec, generate_aminer
+from repro.graphs.generators.aminer import generate_aminer
 
 
 def main() -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graphs.generators.aminer import AminerMetadata, AminerSpec, generate_aminer
+from repro.graphs.generators.aminer import AminerSpec, generate_aminer
 from repro.graphs.graph import Graph
 from repro.influential.api import top_r_communities
 from repro.influential.results import ResultSet

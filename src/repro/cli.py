@@ -6,6 +6,8 @@ Subcommands::
     repro search   --edges graph.txt --weights w.txt ...
     repro batch    --dataset email --workload queries.json [--workers 4]
     repro serve    --snapshot snap/ --port 8080 [--workers 4]
+    repro update-edges --url http://127.0.0.1:8080 --insert 3,17 --delete 4,9
+    repro update-edges --snapshot snap/ --edits edits.json
     repro snapshot save --dataset email --out snap/ [--with-truss]
     repro snapshot load snap/           # inspect + verify a snapshot
     repro datasets                      # list stand-ins with statistics
@@ -25,9 +27,13 @@ JSON array of query objects whose fields mirror
 
 ``serve`` exposes the same service over HTTP (``POST /query``,
 ``POST /batch`` with the workload schema above, ``POST /update-weights``,
-``GET /stats``, ``GET /healthz``); ``snapshot save``/``load`` persist a
-service's CSR arrays and cached decompositions so ``serve --snapshot``
-restarts come up without re-peeling anything.
+``POST /update-edges``, ``GET /stats``, ``GET /healthz``); ``snapshot
+save``/``load`` persist a service's CSR arrays and cached decompositions
+so ``serve --snapshot`` restarts come up without re-peeling anything.
+``update-edges`` applies edge insertions/deletions either to a running
+server (``--url``, via ``POST /update-edges``) or offline to a snapshot
+directory (``--snapshot``, rewriting it through the same incremental
+:class:`~repro.graphs.delta.GraphDelta` path).
 
 Also runnable as ``python -m repro ...``.
 """
@@ -141,6 +147,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-mb", type=int, default=64,
         help="largest accepted request body in MB (weight vectors for "
         "multi-million-vertex graphs need more than the default)",
+    )
+
+    update = sub.add_parser(
+        "update-edges",
+        help="apply edge insertions/deletions to a running server or a "
+        "snapshot, without a full rebuild",
+    )
+    update_target = update.add_mutually_exclusive_group(required=True)
+    update_target.add_argument(
+        "--url",
+        help="base URL of a running `repro serve` (POSTs /update-edges)",
+    )
+    update_target.add_argument(
+        "--snapshot",
+        help="snapshot directory to patch through the incremental delta "
+        "path (rewritten in place unless --out is given)",
+    )
+    update.add_argument(
+        "--insert", action="append", default=[], metavar="U,V",
+        help="edge to insert, as two comma-separated vertex ids (repeatable)",
+    )
+    update.add_argument(
+        "--delete", action="append", default=[], metavar="U,V",
+        help="edge to delete, as two comma-separated vertex ids (repeatable)",
+    )
+    update.add_argument(
+        "--edits",
+        help='JSON file {"insert": [[u, v], ...], "delete": [[u, v], ...]} '
+        "merged with any --insert/--delete flags",
+    )
+    update.add_argument(
+        "--out",
+        help="with --snapshot: write the patched snapshot here instead of "
+        "in place",
     )
 
     snapshot = sub.add_parser(
@@ -355,6 +395,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_flag(raw: str) -> list[int]:
+    from repro.errors import SpecError
+
+    parts = raw.split(",")
+    if len(parts) != 2:
+        raise SpecError(
+            f"edge {raw!r} must be two comma-separated vertex ids, like 3,17"
+        )
+    try:
+        return [int(part) for part in parts]
+    except ValueError:
+        raise SpecError(f"edge {raw!r} has non-integer vertex ids")
+
+
+def _collect_edge_updates(args: argparse.Namespace) -> tuple[list, list]:
+    import json
+
+    from repro.errors import SpecError
+
+    insert = [_parse_edge_flag(raw) for raw in args.insert]
+    delete = [_parse_edge_flag(raw) for raw in args.delete]
+    if args.edits:
+        with open(args.edits, "r", encoding="utf-8") as handle:
+            try:
+                edits = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"edits {args.edits} is not valid JSON: {exc}")
+        if not isinstance(edits, dict) or set(edits) - {"insert", "delete"}:
+            raise SpecError(
+                f'edits {args.edits} must be {{"insert": [...], '
+                f'"delete": [...]}}'
+            )
+        for field, into in (("insert", insert), ("delete", delete)):
+            entries = edits.get(field, [])
+            if not isinstance(entries, list):
+                raise SpecError(
+                    f"edits field {field!r} must be a list of [u, v] pairs"
+                )
+            into.extend(entries)
+    if not insert and not delete:
+        raise SpecError(
+            "nothing to apply: give --insert/--delete flags or an --edits "
+            "file with at least one edge"
+        )
+    return insert, delete
+
+
+def _cmd_update_edges(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SpecError
+
+    if args.url and args.out:
+        # Silently ignoring --out would leave a user expecting a patched
+        # snapshot with no file and no error.
+        raise SpecError("--out only applies to --snapshot, not --url")
+    insert, delete = _collect_edge_updates(args)
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        payload = {"insert": insert, "delete": delete}
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/update-edges",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                body = json.load(response)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc)
+            print(f"error: server rejected update: {message}", file=sys.stderr)
+            return 2
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(body, indent=2))
+        return 0
+
+    from repro.serving.store import load_service, save_snapshot
+
+    service = load_service(args.snapshot)
+    report = service.update_edges(insert=insert, delete=delete)
+    path = save_snapshot(service, args.out or args.snapshot)
+    summary = report.summary()
+    print(json.dumps(summary, indent=2))
+    print(
+        f"wrote snapshot {path}: n={summary['n']}, m={summary['m']}, "
+        f"kmax={service.kmax}"
+    )
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -434,6 +572,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "search": _cmd_search,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "update-edges": _cmd_update_edges,
         "snapshot": _cmd_snapshot,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,

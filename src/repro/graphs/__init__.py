@@ -22,6 +22,7 @@ from repro.graphs.components import (
     is_connected_subset,
 )
 from repro.graphs.csr import CSRAdjacency
+from repro.graphs.delta import DeltaReport, GraphDelta
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
     load_edge_list,
@@ -34,8 +35,10 @@ from repro.graphs.views import induced_degrees, induced_edge_count, induced_subg
 __all__ = [
     "BACKENDS",
     "CSRAdjacency",
+    "DeltaReport",
     "Graph",
     "GraphBuilder",
+    "GraphDelta",
     "bfs_order",
     "get_default_backend",
     "resolve_backend",

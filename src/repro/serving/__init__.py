@@ -17,6 +17,10 @@ together:
 * :mod:`~repro.serving.http` — the asyncio HTTP front end
   (:class:`~repro.serving.http.ServingApp`, :func:`~repro.serving.http
   .serve`) with single-flight request coalescing;
+* :mod:`~repro.serving.updates` — scoped invalidation for live edge
+  updates (:meth:`~repro.serving.service.QueryService.update_edges`):
+  topology deltas from :class:`repro.graphs.delta.GraphDelta` drop only
+  the caches the batch can actually have changed;
 * :mod:`~repro.serving.store` — persistent graph snapshots
   (:func:`~repro.serving.store.save_snapshot` /
   :func:`~repro.serving.store.load_service`): mmapped CSR arrays,
@@ -41,6 +45,7 @@ from repro.serving.store import (
     load_snapshot,
     save_snapshot,
 )
+from repro.serving.updates import UpdateReport
 
 __all__ = [
     "ExpansionEnginePool",
@@ -49,6 +54,7 @@ __all__ = [
     "QueryService",
     "ServingApp",
     "Snapshot",
+    "UpdateReport",
     "load_service",
     "load_snapshot",
     "run_server_in_thread",

@@ -238,6 +238,54 @@ class ExpansionEnginePool:
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        graph: Graph,
+        core_numbers: np.ndarray,
+        max_affected_core: int,
+        changed_edges: tuple[tuple[int, int], ...],
+    ) -> int:
+        """Absorb an edge-update delta, dropping only what it invalidates.
+
+        ``graph``/``core_numbers`` are the post-delta graph and its
+        repaired decomposition (see :class:`repro.graphs.delta.GraphDelta`);
+        ``max_affected_core`` is the delta's locality bound: every k above
+        it has an identical maximal k-core, so its per-k seed state —
+        components, ownership array, pinned seed structures — survives
+        verbatim.  States at ``k <= max_affected_core`` are dropped
+        (partitions can merge or split there) and lazily rebuilt from the
+        new core numbers; LRU-cached sub-community structures are dropped
+        only when an applied edge has both endpoints inside their member
+        set, because a structure encodes nothing beyond the topology
+        induced on its members.  Returns how many cached structures were
+        dropped.
+        """
+        from repro.serving.updates import structure_survives
+
+        if graph.n != self.graph.n:
+            raise ValueError(
+                "apply_update expects a graph with the same vertex set; "
+                "use a fresh pool for a different graph"
+            )
+        if core_numbers.shape != (graph.n,):
+            raise ValueError(
+                f"core_numbers shape {core_numbers.shape} does not match "
+                f"{graph.n} vertices"
+            )
+        self.graph = graph
+        self._cores = core_numbers
+        dropped = 0
+        for k in [k for k in self._per_k if k <= max_affected_core]:
+            state = self._per_k.pop(k)
+            if state is not self._empty_state:
+                dropped += sum(
+                    1 for structure in state.structures if structure is not None
+                )
+        dropped += self._structures.invalidate_where(
+            lambda key: not structure_survives(key[1].ids, changed_edges)
+        )
+        return dropped
+
     def reweight(self, graph: Graph) -> None:
         """Point the pool at a re-weighted twin of its graph.
 

@@ -19,8 +19,18 @@ GET      ``/stats``         serving counters + cache/pool stats + HTTP counters
 POST     ``/query``         one query object → one result payload
 POST     ``/batch``         array of query objects → ordered result payloads
 POST     ``/update-weights``  ``{"weights": [...]}`` → invalidation summary
+POST     ``/update-edges``  ``{"insert": [[u, v], ...], "delete": [...]}`` →
+                            delta summary (see below)
 POST     ``/invalidate``    ``{"k": 4}`` (or ``{}`` for all) → entries dropped
 =======  =================  ====================================================
+
+Edge updates go through :class:`~repro.graphs.delta.GraphDelta`: the CSR
+is patched and core numbers are repaired incrementally, and invalidation
+is *scoped* — engine-pool state and cached results survive for every
+degree constraint whose k-core the batch provably left untouched.  Like
+weight updates, an edge update bumps the epoch: solves admitted before
+the update still answer their waiters but are never written back to the
+(partially invalidated) cache.
 
 Concurrency model
 -----------------
@@ -168,6 +178,7 @@ class ServingApp:
             ("POST", "/query"): self._post_query,
             ("POST", "/batch"): self._post_batch,
             ("POST", "/update-weights"): self._post_update_weights,
+            ("POST", "/update-edges"): self._post_update_edges,
             ("POST", "/invalidate"): self._post_invalidate,
         }
 
@@ -417,6 +428,69 @@ class ServingApp:
             "n": n,
             "epoch": self._epoch,
             "invalidations": self.service.invalidations,
+        }
+
+    async def _post_update_edges(self, body: object) -> dict:
+        if not isinstance(body, Mapping) or not (
+            "insert" in body or "delete" in body
+        ):
+            raise _HTTPError(
+                400,
+                'body must be {"insert": [[u, v], ...], "delete": [[u, v], ...]}'
+                " with at least one of the two lists",
+            )
+        unknown = set(body) - {"insert", "delete"}
+        if unknown:
+            raise _HTTPError(
+                400, f"unknown edge-update field(s) {sorted(unknown)}"
+            )
+        for field in ("insert", "delete"):
+            if field in body and not isinstance(body[field], list):
+                raise _HTTPError(
+                    400,
+                    f'"{field}" must be a JSON array of [u, v] pairs, '
+                    f"got {type(body[field]).__name__}",
+                )
+        from repro.graphs.delta import GraphDelta
+
+        async with self._update_lock:
+            # Full validation against the *current* graph before any
+            # teardown (the lock serializes updates, so the graph cannot
+            # shift underneath): a malformed batch must 400 without
+            # costing the epoch, the worker pool, or a single cache entry.
+            try:
+                inserts, deletes = GraphDelta.validate(
+                    self.service.graph,
+                    body.get("insert", ()),
+                    body.get("delete", ()),
+                )
+            except ReproError as exc:
+                raise _HTTPError(400, str(exc))
+            self._ready.clear()
+            try:
+                # Same discipline as a weight update: bump the epoch so
+                # in-flight solves (admitted against the old topology)
+                # answer their waiters but never repopulate the cache,
+                # and retire the worker pool — its payload embeds the old
+                # CSR arrays and decompositions.
+                self._epoch += 1
+                self._inflight.clear()
+                old_pool, self._process_pool = self._process_pool, None
+                if old_pool is not None:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, old_pool.shutdown, True
+                    )
+                report = await self._run_off_loop(
+                    self.service._apply_edges_shared_state, inserts, deletes
+                )
+                self.service._drop_results_for_update(report)
+            finally:
+                self._ready.set()
+        return {
+            "status": "updated",
+            "epoch": self._epoch,
+            "kmax": self.service.kmax,
+            **report.summary(),
         }
 
     async def _post_invalidate(self, body: object) -> dict:

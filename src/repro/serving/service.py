@@ -36,12 +36,19 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import SolverError
+from repro.graphs.delta import GraphDelta
 from repro.graphs.graph import Graph
 from repro.influential.api import top_r_communities
 from repro.influential.results import ResultSet
 from repro.serving.cache import LRUCache
 from repro.serving.engine_pool import ExpansionEnginePool
 from repro.serving.query import InfluentialQuery
+from repro.serving.updates import (
+    UpdateReport,
+    component_mask,
+    evict_truss_entries,
+    refresh_truss_numbers,
+)
 
 __all__ = ["QueryService"]
 
@@ -87,9 +94,13 @@ class QueryService:
         self._pool.core_numbers  # noqa: B018 — eager: seeds + kmax fast path
         self._results = LRUCache(cache_size)
         self._truss_numbers = truss_numbers
+        # Vertex mask of components whose truss numbers were evicted by an
+        # edge update and await lazy recomputation (None = nothing pending).
+        self._truss_pending: "np.ndarray | None" = None
         self.queries_served = 0
         self.solver_calls = 0
         self.invalidations = 0
+        self.edge_updates = 0
 
     # ------------------------------------------------------------------
     # Shared state accessors
@@ -111,14 +122,40 @@ class QueryService:
 
     @property
     def truss_numbers(self) -> dict[tuple[int, int], int]:
-        """Cached truss number per edge (computed on first truss query)."""
+        """Cached truss number per edge (computed on first truss query).
+
+        After an edge update, only the affected components' entries were
+        evicted; the first access afterwards recomputes exactly those
+        components and merges them back (truss numbers never cross a
+        component boundary).
+        """
         if self._truss_numbers is None:
             from repro.truss.decomposition import truss_decomposition
 
             self._truss_numbers = truss_decomposition(
                 self._graph, backend=self._backend
             )
+            self._truss_pending = None
+        elif self._truss_pending is not None:
+            self._truss_numbers = refresh_truss_numbers(
+                self._graph,
+                self._truss_numbers,
+                self._truss_pending,
+                backend=self._backend,
+            )
+            self._truss_pending = None
         return self._truss_numbers
+
+    def peek_truss_numbers(self) -> "dict[tuple[int, int], int] | None":
+        """The truss cache if one was ever computed (refreshed), else None.
+
+        Snapshot saves and worker payloads use this: they must never ship
+        a partially evicted dict, but must not force a cold decomposition
+        on a service that never served truss traffic either.
+        """
+        if self._truss_numbers is None:
+            return None
+        return self.truss_numbers
 
     @property
     def tmax(self) -> int:
@@ -346,6 +383,79 @@ class QueryService:
         self.invalidations += len(self._results)
         self._results.clear()
 
+    def update_edges(
+        self,
+        insert: "Sequence[tuple[int, int]] | Sequence[Sequence[int]]" = (),
+        delete: "Sequence[tuple[int, int]] | Sequence[Sequence[int]]" = (),
+    ) -> UpdateReport:
+        """Apply edge insertions/deletions without resetting the service.
+
+        The topology change goes through :class:`~repro.graphs.delta
+        .GraphDelta` (patched CSR, incrementally repaired core numbers)
+        and invalidation is scoped by its locality bound: engine-pool
+        state and cached results survive for every degree constraint
+        whose k-core the batch provably left untouched, and truss numbers
+        are evicted per affected component only.  A rejected batch
+        (malformed pairs, self-loops, duplicates, inserting an existing
+        edge, deleting a missing one) raises :class:`~repro.errors
+        .GraphError` before any state changes.
+        """
+        report = self._apply_edges_shared_state(insert, delete)
+        self._drop_results_for_update(report)
+        return report
+
+    def _apply_edges_shared_state(self, insert=(), delete=()) -> UpdateReport:
+        """The graph/pool/truss half of an edge update (no cache writes).
+
+        Split from the result-cache drop for the same reason as
+        :meth:`_reweight_shared_state`: the HTTP front end runs this on
+        its solver thread while the loop thread owns the result cache.
+        """
+        delta = GraphDelta(
+            self._graph,
+            core_numbers=self._pool.core_numbers,
+            backend=self._backend,
+        )
+        report = delta.apply(insert=insert, delete=delete)
+        self._graph = report.graph
+        structures_dropped = self._pool.apply_update(
+            report.graph,
+            report.core_numbers,
+            report.max_affected_core,
+            report.inserted + report.deleted,
+        )
+        truss_dropped = 0
+        if self._truss_numbers is not None:
+            affected = component_mask(report.graph.csr, report.touched)
+            self._truss_numbers, truss_dropped = evict_truss_entries(
+                self._truss_numbers, affected
+            )
+            if self._truss_pending is None:
+                self._truss_pending = affected
+            else:
+                self._truss_pending = self._truss_pending | affected
+        self.edge_updates += 1
+        return UpdateReport(
+            delta=report,
+            structures_dropped=structures_dropped,
+            truss_entries_dropped=truss_dropped,
+        )
+
+    def _drop_results_for_update(self, report: UpdateReport) -> None:
+        """The result-cache half of an edge update.
+
+        Core-cohesion results survive when their degree constraint lies
+        strictly above the delta's locality bound (identical k-core ⇒
+        identical answer); truss-cohesion results are always dropped —
+        the truss lattice has no equally tight bound.
+        """
+        kbar = report.delta.max_affected_core
+        dropped = self._results.invalidate_where(
+            lambda key: key[0] == "truss" or key[1] <= kbar
+        )
+        self.invalidations += dropped
+        report.results_dropped = dropped
+
     def replace_graph(self, graph: Graph) -> None:
         """Point the service at a different graph (full cache reset)."""
         self._graph = graph
@@ -355,6 +465,7 @@ class QueryService:
         self.invalidations += len(self._results)
         self._results.clear()
         self._truss_numbers = None
+        self._truss_pending = None
 
     def invalidate(self, k: int | None = None) -> int:
         """Drop cached results — all of them, or only degree constraint k.
@@ -381,6 +492,7 @@ class QueryService:
             "queries_served": self.queries_served,
             "solver_calls": self.solver_calls,
             "invalidations": self.invalidations,
+            "edge_updates": self.edge_updates,
             "result_cache": self._results.stats(),
             "engine_pool": self._pool.stats(),
         }
@@ -399,7 +511,15 @@ class QueryService:
             # workers come up without re-peeling (fork shares the pages;
             # spawn pickles them once per worker).
             "core_numbers": self._pool.core_numbers,
-            "truss_numbers": self._truss_numbers,
+            # Never a *stale* truss cache, but never a recomputation
+            # either: the HTTP front end builds this payload on the event
+            # loop thread (ProcessPoolExecutor initargs), where a truss
+            # peel would stall every connection.  While a post-update
+            # refresh is pending, workers simply start without the cache
+            # and lazily recompute if they actually serve truss traffic.
+            "truss_numbers": (
+                self._truss_numbers if self._truss_pending is None else None
+            ),
         }
 
     def __repr__(self) -> str:

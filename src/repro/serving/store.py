@@ -157,7 +157,11 @@ def save_snapshot(
     if graph.labels is not None:
         _save_text("labels.json", json.dumps(graph.labels))
 
-    truss = service._truss_numbers if include_truss == "auto" else None
+    # peek_truss_numbers (rather than the raw attribute) matters for a
+    # service that has absorbed edge-update deltas: it refreshes any
+    # lazily pending components, so a snapshot never persists a partially
+    # evicted truss cache.
+    truss = service.peek_truss_numbers() if include_truss == "auto" else None
     if include_truss is True:
         truss = service.truss_numbers
     has_truss = include_truss is not False and truss is not None

@@ -14,7 +14,6 @@ from collections import deque
 from typing import Iterable
 
 from repro.errors import SpecError
-from repro.graphs.components import connected_components_of
 from repro.graphs.graph import Graph
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Generic, Hashable, Iterator, TypeVar
+from typing import Generic, Iterator, TypeVar
 
 T = TypeVar("T")
 

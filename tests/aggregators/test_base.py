@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.aggregators.base import Aggregator
 from repro.aggregators.registry import available_aggregators, get_aggregator
 from repro.errors import AggregatorError
 from repro.utils.stats import SubsetStats

@@ -1,7 +1,6 @@
 """Core decomposition cross-validated against networkx."""
 
 import networkx as nx
-import pytest
 
 from repro.core.decomposition import core_decomposition, core_number_histogram, kmax
 from tests.conftest import random_weighted_graph

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import DatasetError
 from repro.graphs.generators.aminer import (
     FIELDS,
-    AminerMetadata,
     AminerSpec,
     generate_aminer,
 )

@@ -2,7 +2,6 @@
 
 from repro.graphs.generators.examples import (
     FIGURE1_WEIGHTS,
-    figure1_graph,
     paper_vertex_set,
     tiny_kcore_graph,
 )

@@ -1,6 +1,5 @@
 """Unit tests for graph validation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

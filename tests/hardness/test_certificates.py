@@ -3,7 +3,6 @@
 import pytest
 
 from repro.aggregators.minmax import Minimum
-from repro.aggregators.summation import Sum
 from repro.errors import CertificationError
 from repro.hardness.certificates import (
     certify_community,

@@ -6,7 +6,6 @@ from repro.errors import SolverError
 from repro.graphs.builder import GraphBuilder
 from repro.influential.bruteforce import bruteforce_top_r
 from repro.influential.exact import tic_exact
-from tests.conftest import random_weighted_graph
 
 
 def test_figure1_size4_sum(figure1):

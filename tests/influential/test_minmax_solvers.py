@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SolverError
 from repro.hardness.certificates import certify_result_set
-from repro.influential.bruteforce import bruteforce_communities, bruteforce_top_r
+from repro.influential.bruteforce import bruteforce_communities
 from repro.influential.minmax_solvers import (
     max_communities,
     min_communities,
@@ -12,7 +12,6 @@ from repro.influential.minmax_solvers import (
     top_r_min,
     top_r_min_noncontained,
 )
-from tests.conftest import random_weighted_graph
 
 
 def test_figure1_min_top2(figure1):

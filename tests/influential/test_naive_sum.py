@@ -6,7 +6,6 @@ from repro.errors import SolverError
 from repro.hardness.certificates import certify_result_set
 from repro.influential.bruteforce import bruteforce_top_r
 from repro.influential.naive_sum import sum_naive
-from tests.conftest import random_weighted_graph
 
 
 def test_figure1_example1(figure1):

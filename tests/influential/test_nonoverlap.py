@@ -12,7 +12,6 @@ from repro.influential.nonoverlap import (
     tonic_extract,
     tonic_sum_unconstrained,
 )
-from repro.utils.topr import TopR
 
 
 def _c(vertices, value):

@@ -1,6 +1,5 @@
 """End-to-end scenarios across the library layers."""
 
-import numpy as np
 import pytest
 
 from repro.bench.datasets import get_dataset

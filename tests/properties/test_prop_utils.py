@@ -1,6 +1,6 @@
 """Property-based tests for the utility data structures."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.heaps import IndexedMaxHeap, LazyMaxHeap

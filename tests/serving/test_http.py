@@ -26,7 +26,6 @@ import time
 
 import pytest
 
-from repro.graphs.generators.examples import figure1_graph
 from repro.influential.api import top_r_communities
 from repro.serving.http import ServingApp, result_payload, run_server_in_thread
 from repro.serving.query import InfluentialQuery

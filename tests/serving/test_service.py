@@ -1,6 +1,5 @@
 """QueryService behaviour: caching, invalidation, pooling, sharding."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SolverError

@@ -1,7 +1,6 @@
 """Truss decomposition cross-validated against networkx."""
 
 import networkx as nx
-import pytest
 
 from repro.graphs.builder import graph_from_edges
 from repro.truss.decomposition import edge_supports, truss_decomposition, truss_max
