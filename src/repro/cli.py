@@ -5,11 +5,13 @@ Subcommands::
     repro search   --dataset email --k 4 --r 5 --f sum [--s 20] [--tonic]
     repro search   --edges graph.txt --weights w.txt ...
     repro batch    --dataset email --workload queries.json [--workers 4]
-    repro serve    --snapshot snap/ --port 8080 [--workers 4]
+    repro serve    --snapshot snap/ --port 8080 [--workers 4] [--index]
     repro update-edges --url http://127.0.0.1:8080 --insert 3,17 --delete 4,9
     repro update-edges --snapshot snap/ --edits edits.json
     repro snapshot save --dataset email --out snap/ [--with-truss]
     repro snapshot load snap/           # inspect + verify a snapshot
+    repro index build --snapshot snap/ [--depth 32] [--f sum --f sum-surplus]
+    repro index status --snapshot snap/ # per-level coverage of the index
     repro datasets                      # list stand-ins with statistics
     repro bench    --exp fig2 [--out EXPERIMENTS.md]
     repro casestudy                     # the Fig 14 reproduction
@@ -34,6 +36,14 @@ so ``serve --snapshot`` restarts come up without re-peeling anything.
 server (``--url``, via ``POST /update-edges``) or offline to a snapshot
 directory (``--snapshot``, rewriting it through the same incremental
 :class:`~repro.graphs.delta.GraphDelta` path).
+
+``index build`` precomputes the :class:`repro.index.InfluentialIndex`
+for a snapshot — every (k, aggregator) community family down to
+``--depth`` — and writes it back into the snapshot, so ``serve
+--snapshot`` answers indexed queries by array lookup with zero solver
+calls.  ``index status`` prints per-level coverage without rebuilding
+anything; ``serve --index`` builds (or deepens) an index at startup for
+graphs served straight from ``--dataset``/``--edges``.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -148,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest accepted request body in MB (weight vectors for "
         "multi-million-vertex graphs need more than the default)",
     )
+    serve.add_argument(
+        "--index", action="store_true",
+        help="build the influential-community index at startup (snapshots "
+        "that already carry one are served from it without this flag)",
+    )
+    serve.add_argument(
+        "--index-depth", type=int, default=32,
+        help="communities precomputed per (k, aggregator) level",
+    )
 
     update = sub.add_parser(
         "update-edges",
@@ -209,6 +228,38 @@ def build_parser() -> argparse.ArgumentParser:
         "load", help="load a snapshot, verify it, and print its manifest"
     )
     snap_load.add_argument("path", help="snapshot directory")
+
+    index = sub.add_parser(
+        "index",
+        help="precompute/inspect the influential-community index of a "
+        "snapshot",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="build the index for a snapshot and write it back in place",
+    )
+    index_build.add_argument(
+        "--snapshot", required=True, help="snapshot directory (see `snapshot save`)"
+    )
+    index_build.add_argument(
+        "--depth", type=int, default=32,
+        help="communities precomputed per (k, aggregator) level",
+    )
+    index_build.add_argument(
+        "--f", action="append", default=None, metavar="AGG",
+        help="aggregator to index (repeatable; default: sum)",
+    )
+    index_build.add_argument(
+        "--out",
+        help="write the indexed snapshot here instead of in place",
+    )
+    index_status = index_sub.add_parser(
+        "status", help="print per-level index coverage for a snapshot"
+    )
+    index_status.add_argument(
+        "--snapshot", required=True, help="snapshot directory"
+    )
 
     sub.add_parser("datasets", help="list the stand-in datasets with statistics")
 
@@ -363,12 +414,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             graph, backend=args.backend, cache_size=args.cache_size
         )
         source = args.dataset or args.edges
+    if args.index and service.index is None:
+        service.enable_index(depth=args.index_depth)
     ready = time.perf_counter() - start
     graph = service.graph
     print(
         f"serving {source}: n={graph.n}, m={graph.m}, kmax={service.kmax} "
         f"(ready in {ready:.3f}s)"
     )
+    if service.index is not None:
+        istats = service.index.stats()
+        print(
+            f"index: {istats['levels_ready']}/{istats['levels']} levels "
+            f"ready at depth {istats['depth']} "
+            f"(f={','.join(istats['aggregators'])})"
+        )
 
     def banner(server) -> None:
         # Only after a successful bind — scripts key off this line.
@@ -530,6 +590,47 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.serving.store import load_service, save_snapshot
+
+    service = load_service(args.snapshot)
+    if args.index_command == "status":
+        index = service.index
+        if index is None:
+            print(f"snapshot {args.snapshot} carries no index")
+            print("build one with: repro index build --snapshot", args.snapshot)
+            return 0
+        stats = index.stats()
+        sizes = service.engine_pool.core_level_sizes()
+        print(json.dumps(stats, indent=2))
+        print("\nlevel  core-size  state")
+        for k in range(1, service.kmax + 1):
+            states = [
+                f"{name}:{index.level_state(k, name)}"
+                for name in index.aggregators
+            ]
+            core = int(sizes[k]) if k < sizes.shape[0] else 0
+            print(f"{k:>5}  {core:>9}  {' '.join(states)}")
+        return 0
+
+    start = time.perf_counter()
+    index = service.enable_index(
+        depth=args.depth, aggregators=tuple(args.f) if args.f else ("sum",)
+    )
+    built = time.perf_counter() - start
+    path = save_snapshot(service, args.out or args.snapshot)
+    stats = index.stats()
+    print(json.dumps(stats, indent=2))
+    print(
+        f"wrote snapshot {path}: indexed {stats['levels_ready']} levels "
+        f"(kmax={service.kmax}, depth={args.depth}) in {built:.3f}s"
+    )
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.bench.datasets import dataset_statistics_table
 
@@ -574,6 +675,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "update-edges": _cmd_update_edges,
         "snapshot": _cmd_snapshot,
+        "index": _cmd_index,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
         "casestudy": _cmd_casestudy,

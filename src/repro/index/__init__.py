@@ -1,0 +1,17 @@
+"""Precomputed influential-community index (ROADMAP open item #1).
+
+Bi et al. ("An Optimal and Progressive Approach to Online Search of
+Top-K Influential Communities") showed that once the nested community
+structure of a graph is materialised per degree constraint, any
+``(k, r, f)`` top-r query is an index *lookup* rather than a search.
+:class:`InfluentialIndex` is that endgame for the serving stack: built
+once from the cached core decomposition (through the shared
+:class:`~repro.serving.engine_pool.ExpansionEnginePool`), it stores for
+each k the ranked community layers with their per-aggregator values and
+answers indexed queries without a cascade peel or a lattice expansion —
+the existing solver path stays the parity oracle and the fallback.
+"""
+
+from repro.index.influential_index import INDEXED_METHODS, InfluentialIndex
+
+__all__ = ["INDEXED_METHODS", "InfluentialIndex"]

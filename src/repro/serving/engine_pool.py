@@ -147,6 +147,19 @@ class ExpansionEnginePool:
         cores = self.core_numbers
         return int(cores.max()) if cores.size else 0
 
+    def core_level_sizes(self) -> np.ndarray:
+        """``sizes[k]``: vertices in the maximal k-core, for k in 0..kmax.
+
+        One bincount plus a suffix sum over the cached decomposition —
+        no per-k seed state is built or pinned.  ``sizes[0] == n``; the
+        index layer and its CLI/bench report level coverage from this.
+        """
+        cores = self.core_numbers
+        if not cores.size:
+            return np.zeros(1, dtype=np.int64)
+        counts = np.bincount(cores, minlength=self.kmax + 1)
+        return counts[::-1].cumsum()[::-1]
+
     # ------------------------------------------------------------------
     # Seeds
     # ------------------------------------------------------------------

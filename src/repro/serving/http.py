@@ -237,9 +237,9 @@ class ServingApp:
         a batch member failing (or a client going away) never cancels a
         solve that other requests are waiting on.
         """
-        self.service.queries_served += 1
         cached = self.service.peek(query)
         if cached is not None:
+            self.service.queries_served += 1
             return cached
         key = query.cache_key()
         task = self._inflight.get(key)
@@ -253,7 +253,12 @@ class ServingApp:
             task.add_done_callback(
                 lambda done, key=key: self._retire(key, done)
             )
-        return await asyncio.shield(task)
+        result = await asyncio.shield(task)
+        # Counted per answered waiter, *after* the shared solve settles:
+        # a rejected query (the solver raise reaches every waiter) must
+        # not inflate queries_served.  Loop-thread only, like peek above.
+        self.service.queries_served += 1
+        return result
 
     def _retire(self, key: tuple, task: asyncio.Task) -> None:
         if self._inflight.get(key) is task:

@@ -30,6 +30,7 @@ both the direct API and the brute-force oracle.
 from __future__ import annotations
 
 import multiprocessing
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Mapping, Sequence
 
@@ -38,6 +39,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.graphs.delta import GraphDelta
 from repro.graphs.graph import Graph
+from repro.index import InfluentialIndex
 from repro.influential.api import top_r_communities
 from repro.influential.results import ResultSet
 from repro.serving.cache import LRUCache
@@ -53,6 +55,19 @@ from repro.serving.updates import (
 __all__ = ["QueryService"]
 
 _MISS = object()
+
+
+def _stable_shard(key: tuple) -> int:
+    """Deterministic shard digest of a cache key.
+
+    ``hash()`` of a tuple containing strings is salted per process by
+    ``PYTHONHASHSEED``, so using it to shard would shuffle worker
+    assignment — and therefore load balance and bench timings — run to
+    run.  ``repr`` of a cache key is canonical (ints, floats, strings,
+    bools, None in a fixed layout; float repr is shortest-roundtrip and
+    stable), so a CRC over its UTF-8 encoding pins the shard everywhere.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
 
 
 class QueryService:
@@ -78,6 +93,7 @@ class QueryService:
         pool_capacity: int = 1024,
         core_numbers: "np.ndarray | None" = None,
         truss_numbers: "dict[tuple[int, int], int] | None" = None,
+        index: "InfluentialIndex | None" = None,
     ) -> None:
         self._graph = graph
         self._backend = backend
@@ -97,6 +113,9 @@ class QueryService:
         # Vertex mask of components whose truss numbers were evicted by an
         # edge update and await lazy recomputation (None = nothing pending).
         self._truss_pending: "np.ndarray | None" = None
+        # The (optional) precomputed community index: a snapshot-loaded
+        # instance arrives here; enable_index builds a fresh one.
+        self._index = index
         self.queries_served = 0
         self.solver_calls = 0
         self.invalidations = 0
@@ -168,21 +187,51 @@ class QueryService:
         """The shared expansion-engine pool (exposed for diagnostics)."""
         return self._pool
 
+    @property
+    def index(self) -> "InfluentialIndex | None":
+        """The precomputed community index, if one is enabled."""
+        return self._index
+
+    def enable_index(
+        self,
+        depth: int = 32,
+        aggregators: Sequence[str] = ("sum",),
+    ) -> InfluentialIndex:
+        """Build (or rebuild) the precomputed community index.
+
+        Afterwards every indexed ``(k, r, f)`` query — sum-family
+        aggregators under a method that resolves to the exact best-first
+        search — is answered by slicing the stored per-k ranking instead
+        of running a solver; everything else keeps the solver path.  The
+        build itself runs one capture per ``(k, aggregator)`` level
+        through the shared engine pool.
+        """
+        index = InfluentialIndex(depth=depth, aggregators=aggregators)
+        index.build(self._graph, self._pool, self._backend)
+        self._index = index
+        return index
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def submit(
         self, query: "InfluentialQuery | Mapping[str, object]", **overrides
     ) -> ResultSet:
-        """Answer one query, from cache when possible."""
+        """Answer one query, from cache when possible.
+
+        ``queries_served`` counts *answered* queries, so it is bumped
+        after the solve: a query the solver rejects shows up in no
+        counter rather than inflating the served tally.
+        """
         query = InfluentialQuery.create(query, **overrides)
         key = query.cache_key()
         cached = self._results.get(key, _MISS)
-        self.queries_served += 1
         if cached is not _MISS:
+            self.queries_served += 1
             return cached  # type: ignore[return-value]
         result = self._solve(query)
         self._results.put(key, result)
+        self.queries_served += 1
         return result
 
     def peek(
@@ -221,7 +270,10 @@ class QueryService:
         process pool; duplicates are answered once, and every computed
         result lands in this service's cache for later batches.  A query
         that raises (malformed spec, method mismatch) raises here exactly
-        as it would cold, whichever path computed it.
+        as it would cold, whichever path computed it — but counters stay
+        consistent: ``solver_calls`` reflects every shard that *did*
+        complete (its results are cached), and ``queries_served`` counts
+        only batches that were actually answered in full.
         """
         batch = [InfluentialQuery.create(q) for q in queries]
         if workers is None or workers <= 1 or len(batch) <= 1:
@@ -239,14 +291,29 @@ class QueryService:
                 todo[key] = query
             else:
                 resolved[key] = cached  # type: ignore[assignment]
+        if todo and self._index is not None and self._index.built:
+            # Indexed queries never reach the worker pool: a dict lookup
+            # plus a slice is far cheaper than shipping them anywhere.
+            for key, query in list(todo.items()):
+                served = self._index.serve(
+                    query, self._graph, self._pool, self._backend
+                )
+                if served is not None:
+                    resolved[key] = served
+                    self._results.put(key, served)
+                    del todo[key]
         if todo:
             shards: list[list[InfluentialQuery]] = [[] for _ in range(workers)]
             for key, query in todo.items():
-                shards[hash(key) % workers].append(query)
+                # A stable digest, not hash(): tuple hashes are salted by
+                # PYTHONHASHSEED, which would shuffle shard assignment
+                # (and bench timings) across runs.
+                shards[_stable_shard(key) % workers].append(query)
             shards = [shard for shard in shards if shard]
             context = None
             if "fork" in multiprocessing.get_all_start_methods():
                 context = multiprocessing.get_context("fork")
+            failure: BaseException | None = None
             with ProcessPoolExecutor(
                 max_workers=len(shards),
                 mp_context=context,
@@ -254,14 +321,25 @@ class QueryService:
                 initargs=(self._worker_payload(),),
             ) as executor:
                 futures = [
-                    executor.submit(_worker_solve, shard) for shard in shards
+                    executor.submit(_worker_solve_counted, shard)
+                    for shard in shards
                 ]
                 for shard, future in zip(shards, futures):
-                    for query, result in zip(shard, future.result()):
+                    try:
+                        results, solved = future.result()
+                    except BaseException as exc:  # noqa: BLE001 — re-raised
+                        # Keep draining: sibling shards that completed must
+                        # still land in the cache and the solve counter.
+                        if failure is None:
+                            failure = exc
+                        continue
+                    self.solver_calls += solved
+                    for query, result in zip(shard, results):
                         key = query.cache_key()
                         resolved[key] = result
                         self._results.put(key, result)
-            self.solver_calls += len(todo)
+            if failure is not None:
+                raise failure
         self.queries_served += len(batch)
         return [resolved[query.cache_key()] for query in batch]
 
@@ -272,15 +350,29 @@ class QueryService:
         return query.backend if query.backend != "auto" else self._backend
 
     def _solve(self, query: InfluentialQuery) -> ResultSet:
-        self.solver_calls += 1
+        # Index first: an indexed (k, r, f) answer is a precomputed slice,
+        # byte-identical to the solver's, and counts as an index hit, not
+        # a solver call.  Everything unindexed (truss, min/max, TONIC,
+        # eps > 0, boundary value ties...) falls through to the solvers.
+        if self._index is not None:
+            served = self._index.serve(
+                query, self._graph, self._pool, self._backend
+            )
+            if served is not None:
+                return served
         if query.cohesion == "truss":
-            return self._solve_truss(query)
-        return top_r_communities(
-            self._graph,
-            backend=self._effective_backend(query),
-            engine_pool=self._pool,
-            **query.solver_kwargs(),
-        )
+            result = self._solve_truss(query)
+        else:
+            result = top_r_communities(
+                self._graph,
+                backend=self._effective_backend(query),
+                engine_pool=self._pool,
+                **query.solver_kwargs(),
+            )
+        # Counted on success only, so a rejected query (the solver raise
+        # propagates to the caller) never inflates the stats.
+        self.solver_calls += 1
+        return result
 
     def _solve_truss(self, query: InfluentialQuery) -> ResultSet:
         from repro.influential.truss_search import (
@@ -377,6 +469,11 @@ class QueryService:
         graph = self._graph.with_weights(weights)
         self._graph = graph
         self._pool.reweight(graph)
+        if self._index is not None:
+            # Value-only refresh: topology survives (the pool just
+            # re-gathered weight slices in place), so each index level
+            # re-seals lazily with one warm replay on next use.
+            self._index.invalidate_values()
 
     def _drop_results(self) -> None:
         """The result-cache half of a weight update."""
@@ -424,6 +521,12 @@ class QueryService:
             report.max_affected_core,
             report.inserted + report.deleted,
         )
+        if self._index is not None:
+            # Same locality bound as the pool and the result cache: index
+            # levels strictly above max_affected_core survive verbatim.
+            self._index.apply_update(
+                report.max_affected_core, self._pool.kmax
+            )
         truss_dropped = 0
         if self._truss_numbers is not None:
             affected = component_mask(report.graph.csr, report.touched)
@@ -466,6 +569,8 @@ class QueryService:
         self._results.clear()
         self._truss_numbers = None
         self._truss_pending = None
+        if self._index is not None:
+            self._index.reset(self._pool.kmax)
 
     def invalidate(self, k: int | None = None) -> int:
         """Drop cached results — all of them, or only degree constraint k.
@@ -495,6 +600,7 @@ class QueryService:
             "edge_updates": self.edge_updates,
             "result_cache": self._results.stats(),
             "engine_pool": self._pool.stats(),
+            "index": self._index.stats() if self._index is not None else None,
         }
 
     def _worker_payload(self) -> dict[str, object]:
@@ -519,6 +625,14 @@ class QueryService:
             # and lazily recompute if they actually serve truss traffic.
             "truss_numbers": (
                 self._truss_numbers if self._truss_pending is None else None
+            ),
+            # Flat-array form of the community index (when enabled), so
+            # workers serve indexed queries from the same precomputed
+            # rankings instead of re-running captures of their own.
+            "index": (
+                self._index.to_payload()
+                if self._index is not None and self._index.built
+                else None
             ),
         }
 
@@ -549,6 +663,7 @@ def _worker_init(payload: dict) -> None:
         # skip the O(m) per-edge revalidation at every worker startup.
         trusted=True,
     )
+    index_payload = payload.get("index")
     _WORKER_SERVICE = QueryService(
         graph,
         backend=payload["backend"],
@@ -556,6 +671,11 @@ def _worker_init(payload: dict) -> None:
         pool_capacity=payload["pool_capacity"],
         core_numbers=payload.get("core_numbers"),
         truss_numbers=payload.get("truss_numbers"),
+        index=(
+            InfluentialIndex.from_payload(index_payload)
+            if index_payload is not None
+            else None
+        ),
     )
 
 

@@ -18,6 +18,9 @@ of raw ``.npy`` files plus a JSON manifest:
       labels.json         optional vertex labels
       truss_edges.npy     optional, (t, 2) int64 edge endpoints
       truss_values.npy    optional, per-edge truss numbers
+      index_members.npy   optional (v2), concatenated community member ids
+      index_offsets.npy   optional (v2), per-community delimiters
+      index_values.npy    optional (v2), float64 per-community values
 
 ``load_snapshot`` memory-maps the arrays by default (``mmap_mode="r"``),
 so a restarted server — or the Nth worker on one machine — touches pages
@@ -58,7 +61,11 @@ __all__ = ["Snapshot", "save_snapshot", "load_snapshot", "load_service"]
 #: Manifest ``format`` marker — refuse anything else.
 SNAPSHOT_FORMAT = "repro-graph-snapshot"
 #: Bump on incompatible layout changes; loads refuse newer versions.
-SNAPSHOT_VERSION = 1
+#: Version 2 added the optional precomputed community index arrays
+#: (``index_members`` / ``index_offsets`` / ``index_values``).
+SNAPSHOT_VERSION = 2
+#: Versions this build can read (2 is a strict superset of 1).
+SUPPORTED_VERSIONS = (1, 2)
 
 _MANIFEST = "manifest.json"
 
@@ -75,6 +82,8 @@ class Snapshot:
     labels: list[str] | None
     truss_numbers: dict[tuple[int, int], int] | None
     manifest: dict
+    #: :meth:`repro.index.InfluentialIndex.to_payload` form, when saved.
+    index_payload: dict | None = None
 
     @property
     def n(self) -> int:
@@ -174,6 +183,22 @@ def save_snapshot(
         _save_array("truss_edges", edges)
         _save_array("truss_values", values)
 
+    index = service.index
+    has_index = index is not None and index.built
+    index_manifest = None
+    if has_index:
+        payload = index.to_payload()
+        _save_array("index_members", payload["members"])
+        _save_array("index_offsets", payload["offsets"])
+        _save_array("index_values", payload["values"])
+        # The array-shaped half lives in .npy files (mmap-friendly); the
+        # per-level header is small and rides in the manifest.
+        index_manifest = {
+            "depth": payload["depth"],
+            "aggregators": payload["aggregators"],
+            "entries": payload["entries"],
+        }
+
     manifest = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
@@ -183,6 +208,8 @@ def save_snapshot(
         "kmax": service.kmax,
         "has_labels": graph.labels is not None,
         "has_truss": has_truss,
+        "has_index": has_index,
+        "index": index_manifest,
         "indices_dtype": str(csr.indices.dtype),
     }
     # Flush the directory entries (all the renames above) before the
@@ -247,10 +274,10 @@ def load_snapshot(
             f"{manifest_file} is not a {SNAPSHOT_FORMAT} manifest"
         )
     version = manifest.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"snapshot version {version!r} is not supported "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     try:
         n, m = int(manifest["n"]), int(manifest["m"])
@@ -298,6 +325,42 @@ def load_snapshot(
             for (u, v), t in zip(edges, values)
         }
 
+    index_payload: dict | None = None
+    if manifest.get("has_index"):
+        header = manifest.get("index")
+        if not isinstance(header, dict) or not isinstance(
+            header.get("entries"), list
+        ):
+            raise SnapshotError(
+                f"snapshot {root}: manifest promises an index but carries "
+                f"no per-level header"
+            )
+        members = _load_array(root, "index_members", mmap, None)
+        offsets = _load_array(root, "index_offsets", mmap, None)
+        values = _load_array(root, "index_values", mmap, None)
+        total = sum(
+            0 if entry.get("pending") else int(entry.get("count", 0))
+            for entry in header["entries"]
+        )
+        if (
+            offsets.ndim != 1
+            or offsets.shape[0] != total + 1
+            or values.shape[0] != total
+            or members.shape[0] != int(offsets[-1] if offsets.size else 0)
+        ):
+            raise SnapshotError(
+                f"snapshot {root}: index arrays disagree with the manifest "
+                f"({total} communities promised)"
+            )
+        index_payload = {
+            "depth": int(header.get("depth", 0)),
+            "aggregators": header.get("aggregators", []),
+            "entries": header["entries"],
+            "members": members,
+            "offsets": offsets,
+            "values": values,
+        }
+
     return Snapshot(
         path=root,
         indptr=indptr,
@@ -307,6 +370,7 @@ def load_snapshot(
         labels=labels,
         truss_numbers=truss,
         manifest=manifest,
+        index_payload=index_payload,
     )
 
 
@@ -325,9 +389,13 @@ def load_service(
     cold-start cost is file mapping plus adjacency reconstruction: no
     peel runs before the first query.
     """
+    from repro.index import InfluentialIndex
     from repro.serving.service import QueryService
 
     snapshot = load_snapshot(path, mmap=mmap)
+    index = None
+    if snapshot.index_payload is not None:
+        index = InfluentialIndex.from_payload(snapshot.index_payload)
     return QueryService(
         snapshot.graph(),
         backend=backend,
@@ -335,4 +403,5 @@ def load_service(
         pool_capacity=pool_capacity,
         core_numbers=np.asarray(snapshot.core_numbers),
         truss_numbers=snapshot.truss_numbers,
+        index=index,
     )
