@@ -167,6 +167,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-depth", type=int, default=32,
         help="communities precomputed per (k, aggregator) level",
     )
+    serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="fork N serving processes over one shared-memory substrate, "
+        "all answering on one port (0 = single process)",
+    )
+    serve.add_argument(
+        "--fleet-mode", default="auto",
+        choices=("auto", "reuseport", "proxy"),
+        help="port sharing: SO_REUSEPORT kernel balancing, a round-robin "
+        "front proxy, or auto-pick (reuseport where available)",
+    )
+    serve.add_argument(
+        "--log", metavar="PATH",
+        help="replication log: every accepted mutation is appended here "
+        "and replayed by fleet siblings and --follow standbys (defaults "
+        "to <snapshot>/replication.log when --fleet is used with "
+        "--snapshot)",
+    )
+    serve.add_argument(
+        "--follow", metavar="LOG",
+        help="warm standby: tail this replication log and replay its "
+        "mutations, starting past the snapshot's recorded seq",
+    )
+    serve.add_argument(
+        "--refresh-every", type=int, default=0, metavar="N",
+        help="with --snapshot and a replication log: rewrite the snapshot "
+        "in place after every N absorbed mutations (0 disables)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="bound the solve queue: fresh cache misses beyond N in-flight "
+        "solves get 503 + Retry-After instead of queueing (0 = unbounded)",
+    )
 
     update = sub.add_parser(
         "update-edges",
@@ -228,6 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
         "load", help="load a snapshot, verify it, and print its manifest"
     )
     snap_load.add_argument("path", help="snapshot directory")
+    snap_refresh = snap_sub.add_parser(
+        "refresh",
+        help="replay a replication log's unabsorbed tail into a snapshot "
+        "and rewrite it in place with the new seq stamped",
+    )
+    snap_refresh.add_argument(
+        "--snapshot", required=True, help="snapshot directory to refresh"
+    )
+    snap_refresh.add_argument(
+        "--log", required=True, help="replication log to absorb"
+    )
 
     index = sub.add_parser(
         "index",
@@ -388,11 +432,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import pathlib
     import time
 
-    from repro.serving.http import serve
     from repro.serving.service import QueryService
     from repro.serving.store import load_service
+
+    if args.fleet < 0:
+        print("error: --fleet must be >= 0", file=sys.stderr)
+        return 2
+    if args.follow and args.log:
+        print("error: --follow and --log are exclusive", file=sys.stderr)
+        return 2
+    if args.fleet and args.follow:
+        print("error: a fleet cannot also --follow a log", file=sys.stderr)
+        return 2
+    if args.fleet and not args.log:
+        if args.snapshot:
+            args.log = str(pathlib.Path(args.snapshot) / "replication.log")
+        else:
+            print(
+                "error: --fleet needs --log (or --snapshot, which defaults "
+                "the log to <snapshot>/replication.log)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.refresh_every and not args.snapshot:
+        print(
+            "error: --refresh-every rewrites a snapshot; give --snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    if args.refresh_every and not (args.log or args.follow):
+        print(
+            "error: --refresh-every needs a replication log "
+            "(--log or --follow)",
+            file=sys.stderr,
+        )
+        return 2
 
     start = time.perf_counter()
     if args.snapshot:
@@ -430,28 +507,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(f={','.join(istats['aggregators'])})"
         )
 
+    if args.fleet:
+        return _serve_fleet(args, service)
+    return _serve_single(args, service)
+
+
+def _serve_single(args: argparse.Namespace, service) -> int:
+    import asyncio
+
+    from repro.serving.fleet import attach_replication
+    from repro.serving.http import ServingApp
+
+    app = ServingApp(
+        service,
+        workers=args.workers,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        max_queue_depth=args.max_queue,
+    )
+    replicator = None
+    log_path = args.follow or args.log
+    if log_path:
+        start_seq = 0
+        if args.snapshot:
+            from repro.serving.store import load_snapshot
+
+            start_seq = load_snapshot(args.snapshot).replication_seq
+        replicator = attach_replication(
+            app,
+            log_path,
+            start_seq=start_seq,
+            snapshot_path=args.snapshot if args.refresh_every else None,
+            refresh_every=args.refresh_every,
+        )
+        role = "following" if args.follow else "logging mutations to"
+        print(f"{role} {log_path} (from seq {start_seq})")
+
     def banner(server) -> None:
         # Only after a successful bind — scripts key off this line.
+        port = server.sockets[0].getsockname()[1]
         print(
-            f"listening on http://{args.host}:{args.port} — try: "
-            f"curl -s http://{args.host}:{args.port}/healthz"
+            f"listening on http://{args.host}:{port} — try: "
+            f"curl -s http://{args.host}:{port}/healthz"
         )
 
+    async def _main() -> None:
+        if replicator is not None:
+            await replicator.start()
+        try:
+            await app.run(
+                host=args.host,
+                port=args.port,
+                on_ready=banner,
+                handle_signals=True,
+            )
+        finally:
+            if replicator is not None:
+                await replicator.stop()
+
     try:
-        serve(
-            service,
-            host=args.host,
-            port=args.port,
-            workers=args.workers,
-            max_body_bytes=args.max_body_mb * 1024 * 1024,
-            on_ready=banner,
-        )
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
     except OSError as exc:
         print(
             f"error: cannot bind http://{args.host}:{args.port}: {exc}",
             file=sys.stderr,
         )
         return 2
+    finally:
+        app.shutdown_executors()
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, service) -> int:
+    import signal
+    import threading
+
+    from repro.serving.fleet import Fleet, FleetError
+
+    start_seq = None
+    if args.snapshot:
+        from repro.serving.store import load_snapshot
+
+        start_seq = load_snapshot(args.snapshot).replication_seq
+    fleet = Fleet(
+        service,
+        members=args.fleet,
+        host=args.host,
+        port=args.port,
+        mode=args.fleet_mode,
+        log_path=args.log,
+        start_seq=start_seq,
+        snapshot_path=args.snapshot if args.refresh_every else None,
+        refresh_every=args.refresh_every,
+        workers=args.workers,
+        max_queue_depth=args.max_queue,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        cache_size=args.cache_size,
+        backend=args.backend,
+    )
+    stop = threading.Event()
+    previous = {
+        signum: signal.signal(signum, lambda *_a: stop.set())
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        fleet.start()
+        print(
+            f"fleet of {fleet.members} ({fleet.mode}) listening on "
+            f"{fleet.url} — replication log {args.log} — try: "
+            f"curl -s {fleet.url}/healthz"
+        )
+        stop.wait()
+        print("shutting down fleet...")
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    finally:
+        fleet.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     return 0
 
 
@@ -572,6 +749,41 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             f"wrote snapshot {path}: n={graph.n}, m={graph.m}, "
             f"kmax={service.kmax}"
             + (", truss included" if args.with_truss else "")
+        )
+        return 0
+
+    if args.snapshot_command == "refresh":
+        from repro.serving.replog import LogCursor
+        from repro.serving.store import load_snapshot
+
+        before = load_snapshot(args.snapshot).replication_seq
+        service = load_service(args.snapshot)
+        cursor = LogCursor(args.log, start_seq=before)
+        applied = failures = 0
+        for record in cursor.poll():
+            try:
+                if record.op == "update-edges":
+                    service.update_edges(
+                        record.payload.get("insert", ()),
+                        record.payload.get("delete", ()),
+                    )
+                elif record.op == "update-weights":
+                    service.update_weights(record.payload.get("weights"))
+                applied += 1
+            except Exception as exc:  # skipped on every replica alike
+                failures += 1
+                print(f"skipping seq {record.seq}: {exc}", file=sys.stderr)
+        if applied == 0 and cursor.seq == before:
+            print(
+                f"snapshot {args.snapshot} already at seq {before}; "
+                "nothing to absorb"
+            )
+            return 0
+        save_snapshot(service, args.snapshot, replication_seq=cursor.seq)
+        print(
+            f"refreshed {args.snapshot}: seq {before} -> {cursor.seq} "
+            f"({applied} applied, {failures} skipped, "
+            f"n={service.graph.n}, m={service.graph.m})"
         )
         return 0
 

@@ -30,6 +30,7 @@ from repro.graphs.io import (
     save_edge_list,
     save_weights,
 )
+from repro.graphs.lazy import LazyAdjacency
 from repro.graphs.views import induced_degrees, induced_edge_count, induced_subgraph
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "GraphDelta",
+    "LazyAdjacency",
     "bfs_order",
     "get_default_backend",
     "resolve_backend",

@@ -141,6 +141,7 @@ def graph_from_csr_arrays(
     weights: Sequence[float] | None = None,
     labels: Sequence[str] | None = None,
     trusted: bool = False,
+    lazy_adjacency: bool = False,
 ) -> Graph:
     """Rebuild a :class:`Graph` from flat CSR arrays.
 
@@ -157,9 +158,22 @@ def graph_from_csr_arrays(
     this process produced or a manifest already vouches for — snapshot
     loads (:func:`repro.serving.store.load_snapshot`) and same-machine
     worker payloads — never for arrays off the wire.
+
+    ``lazy_adjacency=True`` (requires ``trusted=True``) skips the eager
+    list-of-sets build entirely and installs a
+    :class:`repro.graphs.lazy.LazyAdjacency` view instead: neighbour sets
+    materialise per vertex on first access.  This is how fleet members and
+    pool workers attach to a shared/mmapped substrate without paying the
+    O(n + 2m) private-heap copy of the set backend.
     """
     from repro.graphs.csr import CSRAdjacency
+    from repro.graphs.lazy import LazyAdjacency
 
+    if lazy_adjacency and not trusted:
+        raise GraphError(
+            "lazy_adjacency requires trusted=True: per-edge validation "
+            "would materialise every neighbour set anyway"
+        )
     indptr = np.ascontiguousarray(indptr, dtype=np.int64)
     if indptr.ndim != 1 or indptr.size < 1:
         raise GraphError("indptr must be a 1-D array of length n + 1")
@@ -170,14 +184,10 @@ def graph_from_csr_arrays(
             f"indices length {indices.size} does not match indptr[-1]="
             f"{int(indptr[-1])}"
         )
-    adjacency = [
-        set(indices[indptr[v] : indptr[v + 1]].tolist()) for v in range(n)
-    ]
-    if sum(len(neigh) for neigh in adjacency) != indices.size:
-        raise GraphError("indices contain duplicate entries within a run")
     if indices.size > 1:
         # Every kernel assumes sorted neighbour runs; one vectorised pass
         # checks ascending order everywhere except across run boundaries.
+        # Strict ascent within a run also rules out duplicate entries.
         descending = np.diff(indices.astype(np.int64)) <= 0
         boundary = np.zeros(indices.size - 1, dtype=bool)
         starts = indptr[1:-1]
@@ -185,11 +195,20 @@ def graph_from_csr_arrays(
         boundary[starts - 1] = True
         if np.any(descending & ~boundary):
             raise GraphError("neighbour runs must be sorted ascending")
+    csr = CSRAdjacency(indptr, indices)
+    if lazy_adjacency:
+        adjacency = LazyAdjacency(csr.indptr, csr.indices)
+    else:
+        adjacency = [
+            set(indices[indptr[v] : indptr[v + 1]].tolist()) for v in range(n)
+        ]
+        if sum(len(neigh) for neigh in adjacency) != indices.size:
+            raise GraphError("indices contain duplicate entries within a run")
     # The Graph constructor re-validates symmetry/self-loops/ranges — CSR
     # payloads cross process boundaries, so by default they are not
     # trusted input.
     graph = Graph(adjacency, weights, labels=labels, _trusted=trusted)
-    graph._csr = CSRAdjacency(indptr, indices)
+    graph._csr = csr
     return graph
 
 

@@ -55,6 +55,7 @@ from repro.errors import GraphError, VertexError
 from repro.graphs.backend import resolve_backend
 from repro.graphs.csr import CSRAdjacency
 from repro.graphs.graph import Graph
+from repro.graphs.lazy import LazyAdjacency
 
 __all__ = ["DeltaReport", "GraphDelta", "normalize_edge_updates"]
 
@@ -272,7 +273,14 @@ class GraphDelta:
         csr = graph.csr
         indptr = csr.indptr.copy()
         indices = csr.indices.copy()
-        adjacency, copied = list(graph.adjacency), set()
+        # A lazy (substrate-attached) adjacency stays lazy: the new graph
+        # re-derives neighbour sets from the patched CSR on demand, so no
+        # set is ever materialised for vertices the update didn't touch.
+        lazy = isinstance(graph.adjacency, LazyAdjacency)
+        if lazy:
+            adjacency, copied = None, None
+        else:
+            adjacency, copied = list(graph.adjacency), set()
         cores = old_cores.copy()
         changed = np.zeros(graph.n, dtype=bool)
 
@@ -287,23 +295,28 @@ class GraphDelta:
         # CSR), so the repair always sees the true intermediate graph.
         for u, v in deletes:
             indptr, indices = _delete_edge_csr(indptr, indices, u, v)
-            own(u).discard(v)
-            own(v).discard(u)
+            if not lazy:
+                own(u).discard(v)
+                own(v).discard(u)
             self._repair_delete(
                 CSRAdjacency(indptr, indices), cores, changed, u, v
             )
         for u, v in inserts:
             indptr, indices = _insert_edge_csr(indptr, indices, u, v)
-            own(u).add(v)
-            own(v).add(u)
+            if not lazy:
+                own(u).add(v)
+                own(v).add(u)
             self._repair_insert(
                 CSRAdjacency(indptr, indices), cores, changed, u, v
             )
 
+        new_csr = CSRAdjacency(indptr, indices)
+        if lazy:
+            adjacency = LazyAdjacency(new_csr.indptr, new_csr.indices)
         new_graph = Graph(
             adjacency, graph.weights, labels=graph.labels, _trusted=True
         )
-        new_graph._csr = CSRAdjacency(indptr, indices)
+        new_graph._csr = new_csr
         return self._report(
             new_graph, old_cores, cores, changed, inserts, deletes,
             strategy="incremental",

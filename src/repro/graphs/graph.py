@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.errors import GraphError, VertexError, WeightError
 from repro.graphs.csr import CSRAdjacency
+from repro.graphs.lazy import LazyAdjacency
 
 
 class Graph:
@@ -82,7 +83,12 @@ class Graph:
         self._adj = adjacency
         self._weights = weights
         weights.setflags(write=False)
-        self._m = sum(len(neigh) for neigh in adjacency) // 2
+        if isinstance(adjacency, LazyAdjacency):
+            # Substrate-attached graph: the edge count comes from the CSR
+            # arrays directly, without materialising any neighbour set.
+            self._m = adjacency.edge_count
+        else:
+            self._m = sum(len(neigh) for neigh in adjacency) // 2
         self._csr = None
         if labels is not None:
             if len(labels) != n:
@@ -213,6 +219,10 @@ class Graph:
         """``dmax`` as reported in the paper's Table III."""
         if self.n == 0:
             return 0
+        if self._csr is not None:
+            # Also the lazy-adjacency path: substrate-attached graphs always
+            # carry a seeded CSR, so no neighbour set is materialised here.
+            return int(self._csr.degrees().max())
         return max(len(neigh) for neigh in self._adj)
 
     @property

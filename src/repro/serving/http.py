@@ -68,6 +68,8 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -84,6 +86,7 @@ from repro.serving.service import (
     _worker_init,
     _worker_solve_counted,
 )
+from repro.utils.memory import rss_bytes
 
 __all__ = ["ServingApp", "result_payload", "run_server_in_thread", "serve"]
 
@@ -106,6 +109,7 @@ _REASONS = {
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
 
 
@@ -128,9 +132,15 @@ def result_payload(query: InfluentialQuery, result: ResultSet) -> dict:
 class _HTTPError(Exception):
     """Internal: carry an HTTP status + JSON error body to the writer."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = headers or {}
 
 
 class ServingApp:
@@ -148,15 +158,30 @@ class ServingApp:
         service: QueryService,
         workers: int = 0,
         max_body_bytes: int = MAX_BODY_BYTES,
+        max_queue_depth: int = 0,
+        zero_copy: bool = True,
     ) -> None:
         if workers < 0:
             raise SpecError(f"workers must be >= 0, got {workers}")
+        if max_queue_depth < 0:
+            raise SpecError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
         self.service = service
         self.workers = workers
         # The default caps /update-weights around ~3M vertices of JSON;
         # operators serving larger graphs raise it here (or via the CLI's
         # --max-body-mb).
         self.max_body_bytes = max_body_bytes
+        # Load shedding: with a bound, a fresh cache miss that would make
+        # the (bound+1)-th concurrent solve is refused with 503 +
+        # Retry-After instead of queueing behind every solve before it —
+        # exactly the convoy that made single-process p99 14x p50.  0
+        # keeps the historical unbounded behaviour.
+        self.max_queue_depth = max_queue_depth
+        # Whether the persistent worker pool shares arrays through a
+        # SharedSubstrate (descriptor initargs) instead of pickling them.
+        self.zero_copy = zero_copy
         self._inflight: dict[tuple, asyncio.Task] = {}
         self._epoch = 0
         # Cleared while a weight update is in progress: new solves (and
@@ -167,10 +192,25 @@ class ServingApp:
         self._update_lock = asyncio.Lock()
         self._solver_thread: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
+        self._pool_substrate = None
         self._server: asyncio.AbstractServer | None = None
+        # Set by the fleet layer (repro/serving/fleet.py) when this app is
+        # one member of a fleet: mutations then go through the replication
+        # log, and healthz/stats report catch-up lag + member identity.
+        self.replicator = None
+        self.member_index: "int | None" = None
+        # Graceful-drain state: while draining, responses close their
+        # connections, new connections are refused (the listening socket
+        # is already closed), and drain() waits for active requests.
+        self._draining = False
+        self._active_requests = 0
+        self._connections: "set[asyncio.Task]" = set()
+        # EWMA of recent solve latency; sizes the Retry-After hint.
+        self._solve_avg_seconds = 0.05
         self.requests = 0
         self.coalesced = 0
         self.http_errors = 0
+        self.shed = 0
         self._routes: dict[tuple[str, str], Callable[[object], Awaitable[dict]]] = {
             ("GET", "/"): self._get_index,
             ("GET", "/healthz"): self._get_healthz,
@@ -197,11 +237,20 @@ class ServingApp:
             context = None
             if "fork" in multiprocessing.get_all_start_methods():
                 context = multiprocessing.get_context("fork")
+            if self.zero_copy:
+                # One shm copy of the arrays for *all* workers; each
+                # worker attaches read-only views and materialises only
+                # the neighbour sets it touches.  The segments live until
+                # this pool retires (update/teardown) — workers spawn
+                # lazily, so the substrate must outlive the pool itself.
+                from repro.serving.substrate import SharedSubstrate
+
+                self._pool_substrate = SharedSubstrate.publish(self.service)
             self._process_pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(self.service._worker_payload(),),
+                initargs=self.service.worker_initargs(self._pool_substrate),
             )
 
     def shutdown_executors(self) -> None:
@@ -212,6 +261,28 @@ class ServingApp:
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None
+        if self._pool_substrate is not None:
+            self._pool_substrate.unlink()
+            self._pool_substrate = None
+
+    async def _retire_process_pool(self) -> None:
+        """Shut the worker pool (and its substrate) down, off-loop.
+
+        Mutations call this: the retired pool's workers hold the *old*
+        arrays.  The substrate is unlinked only after the pool has fully
+        drained — workers spawn lazily, and a late-spawning worker must
+        never find its segments already gone.
+        """
+        old_pool, self._process_pool = self._process_pool, None
+        old_substrate, self._pool_substrate = self._pool_substrate, None
+        if old_pool is not None:
+            # Drain off-loop: a slow in-flight solve must not freeze
+            # /healthz while the old workers wind down.
+            await asyncio.get_running_loop().run_in_executor(
+                None, old_pool.shutdown, True
+            )
+        if old_substrate is not None:
+            old_substrate.unlink()
 
     async def _run_off_loop(self, fn, *args):
         """Run ``fn`` on the solver thread (or a transient one)."""
@@ -246,6 +317,27 @@ class ServingApp:
         if task is not None:
             self.coalesced += 1
         else:
+            if 0 < self.max_queue_depth <= len(self._inflight):
+                # Shed instead of queueing: with every solve serialized
+                # behind one solver thread, admitting the (bound+1)-th
+                # distinct miss guarantees it waits for the whole convoy
+                # ahead — the exact tail the 503 pushes back on.  The
+                # Retry-After hint sizes the convoy by recent solve
+                # latency.  Coalesced waiters and cache hits above are
+                # never shed; they add no solver work.
+                self.shed += 1
+                retry_after = max(
+                    1,
+                    math.ceil(
+                        self._solve_avg_seconds * (len(self._inflight) + 1)
+                    ),
+                )
+                raise _HTTPError(
+                    503,
+                    f"solve queue is full ({len(self._inflight)} in flight, "
+                    f"bound {self.max_queue_depth}); retry later",
+                    headers={"Retry-After": str(retry_after)},
+                )
             task = asyncio.get_running_loop().create_task(
                 self._compute_and_store(query)
             )
@@ -274,7 +366,13 @@ class ServingApp:
         # solve lands on always matches the epoch it captured.
         await self._ready.wait()
         epoch = self._epoch
+        started = time.perf_counter()
         result = await self._compute(query)
+        elapsed = time.perf_counter() - started
+        # EWMA with a healthy share of the newest observation: the queue
+        # bound's Retry-After must track regime changes (a burst of slow
+        # truss solves, say) within a handful of requests.
+        self._solve_avg_seconds += 0.2 * (elapsed - self._solve_avg_seconds)
         if self._epoch == epoch:
             self.service.store(query, result)
         return result
@@ -308,27 +406,58 @@ class ServingApp:
             "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
         }
 
+    def _replication_status(self) -> "dict | None":
+        if self.replicator is None:
+            return None
+        return self.replicator.status()
+
     async def _get_healthz(self, body: object) -> dict:
         graph = self.service.graph
-        return {
-            "status": "ok",
+        replication = self._replication_status()
+        payload = {
+            "status": "draining" if self._draining else "ok",
             "graph": {"n": graph.n, "m": graph.m},
             "kmax": self.service.kmax,
             "epoch": self._epoch,
+            "rss_bytes": rss_bytes(),
+            # Entries behind the replication-log head (null when this
+            # process serves without a log): the fleet bench and the
+            # kill-a-replica test watch this reach 0 during catch-up.
+            "replication_lag": (
+                replication["lag"] if replication is not None else None
+            ),
         }
+        if self.member_index is not None:
+            payload["member"] = self.member_index
+        if replication is not None:
+            payload["replication"] = replication
+        return payload
 
     async def _get_stats(self, body: object) -> dict:
         # service.stats() walks the engine pool, which the solver thread
         # may be mutating — read it from that thread so the two serialize.
         stats = await self._run_off_loop(self.service.stats)
+        replication = self._replication_status()
         stats["http"] = {
             "requests": self.requests,
             "coalesced": self.coalesced,
             "errors": self.http_errors,
+            "shed": self.shed,
             "epoch": self._epoch,
             "inflight": len(self._inflight),
+            "max_queue_depth": self.max_queue_depth,
             "workers": self.workers,
+            "draining": self._draining,
         }
+        stats["epoch"] = self._epoch
+        stats["rss_bytes"] = rss_bytes()
+        stats["replication_lag"] = (
+            replication["lag"] if replication is not None else None
+        )
+        if self.member_index is not None:
+            stats["member"] = self.member_index
+        if replication is not None:
+            stats["replication"] = replication
         return stats
 
     def _parse_query(self, entry: object) -> InfluentialQuery:
@@ -402,38 +531,45 @@ class ServingApp:
             raise _HTTPError(
                 400, f"weights must be an array of numbers: {exc}"
             )
+        if self.replicator is not None:
+            # Fleet mode: the mutation becomes a replication-log record
+            # first, then applies here by replaying that record — the
+            # same path every sibling and follower takes, so all replicas
+            # absorb the identical sequence.
+            return await self.replicator.publish(
+                "update-weights", {"weights": weights}
+            )
         async with self._update_lock:
-            # Gate new solves (and lazy pool creation) for the duration,
-            # admit no cache writes from the old weighting, and retire the
-            # old worker pool: solves already in flight drain against the
-            # old weights and answer their waiters, but their pre-bump
-            # epoch keeps them out of the invalidated cache.
-            self._ready.clear()
-            try:
-                self._epoch += 1
-                self._inflight.clear()
-                old_pool, self._process_pool = self._process_pool, None
-                if old_pool is not None:
-                    # Drain off-loop: a slow in-flight solve must not
-                    # freeze /healthz while the old workers wind down.
-                    # The next solve rebuilds the pool from the updated
-                    # payload (peel-free — the payload carries the
-                    # topology-derived decompositions unchanged).
-                    await asyncio.get_running_loop().run_in_executor(
-                        None, old_pool.shutdown, True
-                    )
-                await self._run_off_loop(
-                    self.service._reweight_shared_state, candidate
-                )
-                self.service._drop_results()
-            finally:
-                self._ready.set()
+            await self._apply_weights_locked(candidate)
         return {
             "status": "reweighted",
             "n": n,
             "epoch": self._epoch,
             "invalidations": self.service.invalidations,
         }
+
+    async def _apply_weights_locked(self, candidate: np.ndarray) -> None:
+        """The mutation half of a weight update; caller holds _update_lock.
+
+        Gates new solves (and lazy pool creation) for the duration,
+        admits no cache writes from the old weighting, and retires the
+        old worker pool: solves already in flight drain against the old
+        weights and answer their waiters, but their pre-bump epoch keeps
+        them out of the invalidated cache.  The next solve rebuilds the
+        pool from the updated substrate (peel-free — it carries the
+        topology-derived decompositions unchanged).
+        """
+        self._ready.clear()
+        try:
+            self._epoch += 1
+            self._inflight.clear()
+            await self._retire_process_pool()
+            await self._run_off_loop(
+                self.service._reweight_shared_state, candidate
+            )
+            self.service._drop_results()
+        finally:
+            self._ready.set()
 
     async def _post_update_edges(self, body: object) -> dict:
         if not isinstance(body, Mapping) or not (
@@ -458,6 +594,18 @@ class ServingApp:
                 )
         from repro.graphs.delta import GraphDelta
 
+        if self.replicator is not None:
+            # Fleet mode: validate-then-apply happens inside publish(),
+            # against the graph as of the log head (the replicator syncs
+            # pending foreign records first, so the seq order *is* the
+            # apply order on every replica).
+            return await self.replicator.publish(
+                "update-edges",
+                {
+                    "insert": list(body.get("insert", [])),
+                    "delete": list(body.get("delete", [])),
+                },
+            )
         async with self._update_lock:
             # Full validation against the *current* graph before any
             # teardown (the lock serializes updates, so the graph cannot
@@ -471,32 +619,34 @@ class ServingApp:
                 )
             except ReproError as exc:
                 raise _HTTPError(400, str(exc))
-            self._ready.clear()
-            try:
-                # Same discipline as a weight update: bump the epoch so
-                # in-flight solves (admitted against the old topology)
-                # answer their waiters but never repopulate the cache,
-                # and retire the worker pool — its payload embeds the old
-                # CSR arrays and decompositions.
-                self._epoch += 1
-                self._inflight.clear()
-                old_pool, self._process_pool = self._process_pool, None
-                if old_pool is not None:
-                    await asyncio.get_running_loop().run_in_executor(
-                        None, old_pool.shutdown, True
-                    )
-                report = await self._run_off_loop(
-                    self.service._apply_edges_shared_state, inserts, deletes
-                )
-                self.service._drop_results_for_update(report)
-            finally:
-                self._ready.set()
+            report = await self._apply_edges_locked(inserts, deletes)
         return {
             "status": "updated",
             "epoch": self._epoch,
             "kmax": self.service.kmax,
             **report.summary(),
         }
+
+    async def _apply_edges_locked(self, inserts, deletes):
+        """The mutation half of an edge update; caller holds _update_lock.
+
+        Same discipline as a weight update: bump the epoch so in-flight
+        solves (admitted against the old topology) answer their waiters
+        but never repopulate the cache, and retire the worker pool — its
+        substrate embeds the old CSR arrays and decompositions.
+        """
+        self._ready.clear()
+        try:
+            self._epoch += 1
+            self._inflight.clear()
+            await self._retire_process_pool()
+            report = await self._run_off_loop(
+                self.service._apply_edges_shared_state, inserts, deletes
+            )
+            self.service._drop_results_for_update(report)
+        finally:
+            self._ready.set()
+        return report
 
     async def _post_invalidate(self, body: object) -> dict:
         body = body if isinstance(body, Mapping) else {}
@@ -521,6 +671,12 @@ class ServingApp:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Registered so drain() can find (and cancel) handlers idling
+        # between keep-alive requests; active requests are counted
+        # separately and always allowed to finish.
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
             while True:
                 keep_alive = await self._handle_one(reader, writer)
@@ -543,6 +699,8 @@ class ServingApp:
             # done-callback re-raise and log it, so absorb and just close.
             pass
         finally:
+            if task is not None:
+                self._connections.discard(task)
             # CancelledError too: teardown may re-deliver the cancellation
             # at the wait_closed() await inside this finally.
             with contextlib.suppress(Exception, asyncio.CancelledError):
@@ -606,23 +764,35 @@ class ServingApp:
             return False
         raw = await reader.readexactly(length) if length else b""
 
-        status, payload = await self._dispatch(method.upper(), path, raw)
-        if status != 200:
-            self.http_errors += 1
-        await self._respond(writer, status, payload, keep_alive)
+        if self._draining:
+            # The response for an already-read request still goes out, but
+            # the connection closes after it — drain() must converge.
+            keep_alive = False
+        self._active_requests += 1
+        try:
+            status, payload, extra = await self._dispatch(
+                method.upper(), path, raw
+            )
+            if status != 200:
+                self.http_errors += 1
+            if self._draining:
+                keep_alive = False
+            await self._respond(writer, status, payload, keep_alive, extra)
+        finally:
+            self._active_requests -= 1
         return keep_alive
 
     async def _dispatch(
         self, method: str, path: str, raw: bytes
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, dict]:
         handler = self._routes.get((method, path))
         if handler is None:
             if any(p == path for _m, p in self._routes):
-                return 405, {"error": f"{method} not allowed on {path}"}
+                return 405, {"error": f"{method} not allowed on {path}"}, {}
             return 404, {
                 "error": f"no route {path}",
                 "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
-            }
+            }, {}
         body: object = None
         if raw:
             try:
@@ -635,17 +805,17 @@ class ServingApp:
                 else:
                     body = json.loads(raw)
             except json.JSONDecodeError as exc:
-                return 400, {"error": f"body is not valid JSON: {exc}"}
+                return 400, {"error": f"body is not valid JSON: {exc}"}, {}
         try:
-            return 200, await handler(body)
+            return 200, await handler(body), {}
         except _HTTPError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}, exc.headers
         except ReproError as exc:
             # Spec/solver rejections: the client's request is at fault and
             # carries the same message a cold library call would raise.
-            return 400, {"error": str(exc), "type": type(exc).__name__}
+            return 400, {"error": str(exc), "type": type(exc).__name__}, {}
         except Exception as exc:  # noqa: BLE001 — last-resort 500
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
 
     async def _respond(
         self,
@@ -653,13 +823,19 @@ class ServingApp:
         status: int,
         payload: dict,
         keep_alive: bool,
+        extra_headers: "Mapping[str, str] | None" = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -669,33 +845,110 @@ class ServingApp:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(
-        self, host: str = "127.0.0.1", port: int = 8080
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        reuse_port: bool = False,
+        sock: "object | None" = None,
     ) -> asyncio.AbstractServer:
-        """Bind and start serving; returns the asyncio server object."""
+        """Bind and start serving; returns the asyncio server object.
+
+        ``reuse_port`` sets SO_REUSEPORT so several fleet members can bind
+        the same address and let the kernel spread connections; ``sock``
+        serves on an already-bound socket instead (proxy-mode members
+        inherit theirs from the fleet parent).
+        """
         self._ensure_executors()
-        self._server = await asyncio.start_server(
-            self._handle_connection, host, port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host, port, reuse_port=reuse_port
+            )
         return self._server
+
+    async def drain(self, timeout: float = 10.0) -> None:
+        """Stop accepting, finish in-flight requests, close keep-alives.
+
+        After this returns no handler task is running: active requests got
+        their responses (with ``Connection: close``) up to ``timeout``
+        seconds, then idle keep-alive connections — parked in
+        ``readline()`` waiting for a request that will never come — are
+        cancelled outright.  ``Server.wait_closed()`` is deliberately not
+        used: on 3.12+ it waits for *all* handlers, which deadlocks on an
+        idle keep-alive.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        deadline = time.monotonic() + max(0.0, timeout)
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        leftovers = [t for t in self._connections if not t.done()]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
 
     async def run(
         self,
         host: str = "127.0.0.1",
         port: int = 8080,
         on_ready: "Callable[[asyncio.AbstractServer], None] | None" = None,
+        *,
+        reuse_port: bool = False,
+        sock: "object | None" = None,
+        handle_signals: bool = False,
+        drain_timeout: float = 10.0,
     ) -> None:
-        """Start and serve until cancelled.
+        """Start and serve until cancelled (or signalled, when asked).
 
         ``on_ready`` fires once the socket is bound (the CLI prints its
         "listening on ..." banner there — never before a successful bind).
+        With ``handle_signals``, SIGTERM/SIGINT trigger a graceful
+        :meth:`drain` instead of tearing the loop down mid-response.
         """
-        server = await self.start(host, port)
+        server = await self.start(
+            host, port, reuse_port=reuse_port, sock=sock
+        )
         if on_ready is not None:
             on_ready(server)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[int] = []
+        if handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    installed.append(signum)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass  # non-main thread or unsupported platform
         try:
             async with server:
-                await server.serve_forever()
+                if installed:
+                    serve_task = asyncio.ensure_future(
+                        server.serve_forever()
+                    )
+                    stop_task = asyncio.ensure_future(stop.wait())
+                    await asyncio.wait(
+                        {serve_task, stop_task},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    stop_task.cancel()
+                    serve_task.cancel()
+                    await asyncio.gather(
+                        serve_task, stop_task, return_exceptions=True
+                    )
+                    await self.drain(drain_timeout)
+                else:
+                    await server.serve_forever()
         finally:
+            for signum in installed:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(signum)
             self.shutdown_executors()
 
 

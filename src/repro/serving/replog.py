@@ -1,0 +1,205 @@
+"""Append-only replication log for serving-layer mutations.
+
+Every mutation the serving stack accepts — an edge-update batch or a
+weight update — is one JSON line in a shared log file::
+
+    {"seq": 7, "epoch": 7, "op": "update-edges",
+     "payload": {"insert": [[0, 5]], "delete": []}, "ts": 1754650000.123}
+
+``seq`` is a strictly increasing sequence number assigned under an
+exclusive ``flock`` at append time; ``epoch`` mirrors it (one mutation
+is one serving epoch — the HTTP layer's per-process epoch counter
+advances in lockstep once it replays the record).  Followers tail the
+file with a :class:`LogCursor` and replay each record through the very
+same ``update_edges``/``update_weights`` paths a direct POST would take,
+which is what makes replicas byte-identical to the leader: the log
+stores *intents*, not state, and the appliers are deterministic.
+
+Durability/consistency model, deliberately minimal:
+
+* appends are atomic under ``flock(LOCK_EX)`` + single ``write`` +
+  ``fsync`` — many writers may share one log (every fleet member
+  appends the mutations *it* received);
+* readers only consume **newline-terminated** lines, so a torn tail
+  (crash mid-append) is invisible until completed — never misparsed;
+* a malformed or out-of-order record is *skipped deterministically* (and
+  counted) by every reader, so one corrupt line cannot fork replicas;
+* compaction happens via snapshots, not log rewriting: a refreshed
+  snapshot stores the ``replication_seq`` it absorbed, and a process
+  starting from it tails the log from that seq (see
+  :func:`repro.serving.store.save_snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+
+__all__ = ["LogCursor", "LogRecord", "ReplicationLog"]
+
+try:  # pragma: no cover — fcntl exists everywhere this repo targets
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: Operations a log may carry; anything else is skipped on read.
+VALID_OPS = ("update-edges", "update-weights")
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replayable mutation."""
+
+    seq: int
+    op: str
+    payload: dict
+    ts: float
+
+    def to_line(self) -> bytes:
+        doc = {
+            "seq": self.seq,
+            "epoch": self.seq,
+            "op": self.op,
+            "payload": self.payload,
+            "ts": self.ts,
+        }
+        return (json.dumps(doc, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def _parse_line(line: bytes) -> "LogRecord | None":
+    """One line → record, or None for anything malformed."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    seq, op, payload = doc.get("seq"), doc.get("op"), doc.get("payload")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        return None
+    if op not in VALID_OPS or not isinstance(payload, dict):
+        return None
+    ts = doc.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        ts = 0.0
+    return LogRecord(seq=seq, op=op, payload=payload, ts=float(ts))
+
+
+class LogCursor:
+    """Tail a replication log, yielding complete records past a seq.
+
+    Tracks a byte offset so repeated :meth:`poll` calls re-read nothing;
+    only newline-terminated lines are consumed (a partial append stays
+    pending until its newline lands).  Records with ``seq <=`` the
+    highest seen (or the starting seq) are dropped as duplicates, and
+    malformed lines are counted in :attr:`skipped` — every reader makes
+    the same call on the same bytes, so replicas cannot diverge over a
+    bad record.
+    """
+
+    def __init__(self, path: "str | pathlib.Path", start_seq: int = 0) -> None:
+        self.path = pathlib.Path(path)
+        self.seq = int(start_seq)
+        self.skipped = 0
+        self._offset = 0
+        self._pending = b""
+
+    def poll(self, max_records: "int | None" = None) -> list[LogRecord]:
+        """Every new complete record since the last poll (maybe empty)."""
+        try:
+            with open(self.path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size < self._offset:
+                    # The log shrank (rotated/recreated): restart from the
+                    # top, dedup-by-seq drops anything already applied.
+                    self._offset = 0
+                    self._pending = b""
+                if size == self._offset:
+                    return []
+                handle.seek(self._offset)
+                chunk = handle.read(size - self._offset)
+        except FileNotFoundError:
+            return []
+        self._offset += len(chunk)
+        buffer = self._pending + chunk
+        lines = buffer.split(b"\n")
+        self._pending = lines.pop()  # b"" when the chunk ended on a newline
+        records: list[LogRecord] = []
+        consumed = 0
+        for line in lines:
+            consumed += len(line) + 1
+            if not line.strip():
+                continue
+            record = _parse_line(line)
+            if record is None or record.seq <= self.seq:
+                self.skipped += 1
+                continue
+            self.seq = record.seq
+            records.append(record)
+            if max_records is not None and len(records) >= max_records:
+                # Rewind the offset past the unparsed remainder (which
+                # includes any old pending bytes) so the next poll
+                # re-reads exactly from the first unconsumed line.
+                self._offset -= len(buffer) - consumed
+                self._pending = b""
+                break
+        return records
+
+
+class ReplicationLog:
+    """Appender (and head-seq probe) for one log file.
+
+    Many processes may hold a :class:`ReplicationLog` on the same path;
+    the exclusive ``flock`` around read-tail-then-append makes each
+    append atomic and its seq unique.
+    """
+
+    def __init__(self, path: "str | pathlib.Path") -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tail = LogCursor(self.path)
+
+    def append(self, op: str, payload: dict) -> LogRecord:
+        """Durably append one mutation; returns the stamped record."""
+        if op not in VALID_OPS:
+            raise ValueError(f"unknown replication op {op!r}")
+        with open(self.path, "ab") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                # Catch up on lines other writers appended since our last
+                # look, so the new seq lands strictly past the head.
+                for record in self._tail.poll():
+                    pass
+                record = LogRecord(
+                    seq=self._tail.seq + 1,
+                    op=op,
+                    payload=payload,
+                    ts=time.time(),
+                )
+                handle.write(record.to_line())
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._tail.seq = record.seq
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return record
+
+    def head_seq(self) -> int:
+        """Highest complete seq in the log right now (0 for empty/absent)."""
+        probe = LogCursor(self.path)
+        for __ in probe.poll():
+            pass
+        return probe.seq
+
+
+def head_seq(path: "str | pathlib.Path") -> int:
+    """Module-level convenience: the log head without holding a log."""
+    probe = LogCursor(path)
+    for __ in probe.poll():
+        pass
+    return probe.seq

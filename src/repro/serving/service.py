@@ -177,6 +177,15 @@ class QueryService:
         return self.truss_numbers
 
     @property
+    def truss_pending(self) -> bool:
+        """True while an edge update's truss refresh is still lazy.
+
+        Substrate publication and worker payloads check this instead of
+        touching :attr:`truss_numbers` (which would force the refresh on
+        whatever thread asked — the event loop, typically)."""
+        return self._truss_pending is not None
+
+    @property
     def tmax(self) -> int:
         """Largest k with a non-empty k-truss (0 on edgeless graphs)."""
         numbers = self.truss_numbers
@@ -263,6 +272,7 @@ class QueryService:
         self,
         queries: Iterable["InfluentialQuery | Mapping[str, object]"],
         workers: int | None = None,
+        zero_copy: bool = True,
     ) -> list[ResultSet]:
         """Answer a batch, in submission order.
 
@@ -274,6 +284,15 @@ class QueryService:
         consistent: ``solver_calls`` reflects every shard that *did*
         complete (its results are cached), and ``queries_served`` counts
         only batches that were actually answered in full.
+
+        ``zero_copy=True`` (default) publishes the shared arrays into a
+        :class:`~repro.serving.substrate.SharedSubstrate` once and hands
+        workers its descriptor: each worker attaches read-only views and
+        lazily materialises only the neighbour sets it touches, instead
+        of receiving a pickled copy of everything and rebuilding an
+        eager adjacency.  The segments are unlinked when the pool shuts
+        down.  ``zero_copy=False`` keeps the legacy pickled payload
+        (the fleet benchmark uses it as the RSS comparison point).
         """
         batch = [InfluentialQuery.create(q) for q in queries]
         if workers is None or workers <= 1 or len(batch) <= 1:
@@ -313,31 +332,41 @@ class QueryService:
             context = None
             if "fork" in multiprocessing.get_all_start_methods():
                 context = multiprocessing.get_context("fork")
+            substrate = None
+            if zero_copy:
+                from repro.serving.substrate import SharedSubstrate
+
+                substrate = SharedSubstrate.publish(self)
             failure: BaseException | None = None
-            with ProcessPoolExecutor(
-                max_workers=len(shards),
-                mp_context=context,
-                initializer=_worker_init,
-                initargs=(self._worker_payload(),),
-            ) as executor:
-                futures = [
-                    executor.submit(_worker_solve_counted, shard)
-                    for shard in shards
-                ]
-                for shard, future in zip(shards, futures):
-                    try:
-                        results, solved = future.result()
-                    except BaseException as exc:  # noqa: BLE001 — re-raised
-                        # Keep draining: sibling shards that completed must
-                        # still land in the cache and the solve counter.
-                        if failure is None:
-                            failure = exc
-                        continue
-                    self.solver_calls += solved
-                    for query, result in zip(shard, results):
-                        key = query.cache_key()
-                        resolved[key] = result
-                        self._results.put(key, result)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=len(shards),
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=self.worker_initargs(substrate),
+                ) as executor:
+                    futures = [
+                        executor.submit(_worker_solve_counted, shard)
+                        for shard in shards
+                    ]
+                    for shard, future in zip(shards, futures):
+                        try:
+                            results, solved = future.result()
+                        except BaseException as exc:  # noqa: BLE001 — re-raised
+                            # Keep draining: sibling shards that completed
+                            # must still land in the cache and the solve
+                            # counter.
+                            if failure is None:
+                                failure = exc
+                            continue
+                        self.solver_calls += solved
+                        for query, result in zip(shard, results):
+                            key = query.cache_key()
+                            resolved[key] = result
+                            self._results.put(key, result)
+            finally:
+                if substrate is not None:
+                    substrate.unlink()
             if failure is not None:
                 raise failure
         self.queries_served += len(batch)
@@ -603,6 +632,27 @@ class QueryService:
             "index": self._index.stats() if self._index is not None else None,
         }
 
+    def worker_initargs(self, substrate=None) -> tuple:
+        """``initargs`` for a :func:`_worker_init`-initialised pool.
+
+        With a :class:`~repro.serving.substrate.SharedSubstrate`, the
+        payload is its (small, JSON-able) descriptor plus the service
+        knobs — workers attach read-only views and build a lazy-adjacency
+        service, copying nothing.  Without one, the legacy pickled-array
+        payload ships (fork inherits the pages copy-on-write; spawn pays
+        one pickle per worker *and* an eager set adjacency each).
+        """
+        if substrate is None:
+            return (self._worker_payload(),)
+        return (
+            {
+                "substrate": substrate.descriptor(),
+                "backend": self._backend,
+                "cache_size": self._cache_size,
+                "pool_capacity": self._pool_capacity,
+            },
+        )
+
     def _worker_payload(self) -> dict[str, object]:
         csr = self._graph.csr
         return {
@@ -647,13 +697,27 @@ class QueryService:
 # Process-pool workers (module level: must be picklable by reference)
 # ----------------------------------------------------------------------
 _WORKER_SERVICE: QueryService | None = None
+# The worker's substrate attachment, when zero-copy init was used: held
+# at module level so the mapped segments stay alive for the worker's
+# whole lifetime (the service's arrays are views into them).
+_WORKER_SUBSTRATE = None
 
 
 def _worker_init(payload: dict) -> None:
     """Build this worker's service once, from the shared CSR arrays."""
-    global _WORKER_SERVICE
+    global _WORKER_SERVICE, _WORKER_SUBSTRATE
     from repro.graphs.builder import graph_from_csr_arrays
 
+    if "substrate" in payload:
+        from repro.serving.substrate import SharedSubstrate
+
+        _WORKER_SUBSTRATE = SharedSubstrate.attach(payload["substrate"])
+        _WORKER_SERVICE = _WORKER_SUBSTRATE.build_service(
+            backend=payload["backend"],
+            cache_size=payload["cache_size"],
+            pool_capacity=payload["pool_capacity"],
+        )
+        return
     graph = graph_from_csr_arrays(
         payload["indptr"],
         payload["indices"],

@@ -95,6 +95,12 @@ class Snapshot:
         """Number of undirected edges."""
         return int(self.indices.size // 2)
 
+    @property
+    def replication_seq(self) -> int:
+        """Last replication-log seq this snapshot absorbed (0 if unknown)."""
+        value = self.manifest.get("replication_seq", 0)
+        return int(value) if isinstance(value, int) else 0
+
     def graph(self) -> Graph:
         """Materialise the :class:`Graph` (CSR cache pre-seeded)."""
         graph = graph_from_csr_arrays(
@@ -111,6 +117,7 @@ def save_snapshot(
     service: "QueryService",
     path: "str | pathlib.Path",
     include_truss: "bool | str" = "auto",
+    replication_seq: "int | None" = None,
 ) -> pathlib.Path:
     """Persist ``service``'s graph and cached decompositions to ``path``.
 
@@ -118,6 +125,13 @@ def save_snapshot(
     ``"auto"`` saves it only if the service has already computed it,
     ``True`` forces the computation so the snapshot can serve
     ``cohesion="truss"`` traffic without a cold peel, ``False`` omits it.
+
+    ``replication_seq`` records how far into a replication log this
+    state reaches: a process starting from the snapshot tails the log
+    from that seq instead of replaying history (see
+    :mod:`repro.serving.replog`).  The periodic in-place refresh
+    (``repro snapshot refresh``, ``repro serve --refresh-every``) is
+    exactly this save with the absorbed seq stamped in.
 
     Returns the snapshot directory.  Overwrites any snapshot already at
     ``path``; the manifest is written last, so an interrupted save is
@@ -143,8 +157,12 @@ def save_snapshot(
         # swaps the directory entry while open memmaps keep the old inode.
         # The fsync makes manifest-written-last hold across power loss,
         # not just process crashes (delayed allocation could otherwise
-        # persist the manifest before the array data blocks).
-        tmp = root / f"{name}.npy.tmp"
+        # persist the manifest before the array data blocks).  The pid in
+        # the temp name keeps two refreshers (a fleet member's periodic
+        # refresh racing an operator's `repro snapshot refresh`, say) from
+        # truncating each other's half-written temp files; last rename
+        # wins either way, and both candidates are complete.
+        tmp = root / f"{name}.npy.{os.getpid()}.tmp"
         with open(tmp, "wb") as handle:  # np.save(path) would append .npy
             np.save(handle, array, allow_pickle=False)
             handle.flush()
@@ -152,7 +170,7 @@ def save_snapshot(
         tmp.replace(root / f"{name}.npy")
 
     def _save_text(name: str, text: str) -> None:
-        tmp = root / f"{name}.tmp"
+        tmp = root / f"{name}.{os.getpid()}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(text)
             handle.flush()
@@ -212,6 +230,8 @@ def save_snapshot(
         "index": index_manifest,
         "indices_dtype": str(csr.indices.dtype),
     }
+    if replication_seq is not None:
+        manifest["replication_seq"] = int(replication_seq)
     # Flush the directory entries (all the renames above) before the
     # manifest lands: its presence must imply the arrays are durable.
     directory = os.open(root, os.O_RDONLY)

@@ -1,0 +1,111 @@
+"""LazyAdjacency: the per-vertex-on-demand facade over CSR arrays.
+
+The substrate workers build their graphs with ``lazy_adjacency=True``;
+these tests pin down that a lazy graph is observationally identical to
+an eager one — same neighbourhoods, same edge count, same solver
+answers — while only materialising the vertices actually touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import graph_from_csr_arrays
+from repro.graphs.csr import CSRAdjacency
+from repro.graphs.generators.examples import figure1_graph
+from repro.graphs.lazy import LazyAdjacency
+
+
+def _figure1_csr():
+    graph = figure1_graph()
+    csr = graph.csr
+    return csr.indptr, csr.indices, graph.weights, graph.labels
+
+
+@pytest.fixture
+def lazy_graph():
+    indptr, indices, weights, labels = _figure1_csr()
+    return graph_from_csr_arrays(
+        indptr, indices, weights, labels=labels,
+        trusted=True, lazy_adjacency=True,
+    )
+
+
+def test_lazy_requires_trusted():
+    indptr, indices, weights, _labels = _figure1_csr()
+    with pytest.raises(GraphError):
+        graph_from_csr_arrays(
+            indptr, indices, weights, trusted=False, lazy_adjacency=True
+        )
+
+
+def test_neighbourhoods_match_eager(lazy_graph, figure1):
+    assert len(lazy_graph.adjacency) == figure1.n
+    for v in range(figure1.n):
+        assert lazy_graph.adjacency[v] == figure1.adjacency[v]
+
+
+def test_counts_and_degrees(lazy_graph, figure1):
+    assert lazy_graph.n == figure1.n
+    assert lazy_graph.m == figure1.m
+    assert lazy_graph.max_degree == figure1.max_degree
+
+
+def test_materialisation_is_per_vertex(lazy_graph):
+    adjacency = lazy_graph.adjacency
+    assert isinstance(adjacency, LazyAdjacency)
+    assert len(adjacency._sets) == 0
+    _ = adjacency[3]
+    assert set(adjacency._sets) == {3}
+    _ = adjacency[3]  # cached — still just the one
+    assert set(adjacency._sets) == {3}
+
+
+def test_slice_and_negative_index(lazy_graph, figure1):
+    n = figure1.n
+    assert lazy_graph.adjacency[-1] == figure1.adjacency[n - 1]
+    window = lazy_graph.adjacency[2:5]
+    assert window == [figure1.adjacency[v] for v in range(2, 5)]
+
+
+def test_iter_and_to_sets(lazy_graph, figure1):
+    eager = [set(s) for s in figure1.adjacency]
+    assert list(lazy_graph.adjacency) == eager
+    assert lazy_graph.adjacency.to_sets() == eager
+
+
+def test_empty_vertex():
+    indptr = np.array([0, 0, 1, 2], dtype=np.int64)
+    indices = np.array([2, 1], dtype=np.int64)
+    adjacency = LazyAdjacency(indptr, indices)
+    assert adjacency[0] == set()
+    assert adjacency[1] == {2}
+    assert adjacency.edge_count == 1
+
+
+def test_solver_answers_match_eager(lazy_graph, figure1):
+    from repro.influential.api import top_r_communities
+
+    lazy_answer = top_r_communities(lazy_graph, k=2, r=2, f="sum")
+    eager_answer = top_r_communities(figure1, k=2, r=2, f="sum")
+    assert [sorted(c.vertices) for c in lazy_answer] == [
+        sorted(c.vertices) for c in eager_answer
+    ]
+    assert lazy_answer.values() == eager_answer.values()
+
+
+def test_lazy_survives_incremental_update(lazy_graph, figure1):
+    from repro.graphs.delta import GraphDelta
+
+    report = GraphDelta(lazy_graph).apply(insert=[(0, 7)])
+    assert isinstance(report.graph.adjacency, LazyAdjacency)
+    assert 7 in report.graph.adjacency[0]
+    assert report.graph.m == figure1.m + 1
+
+
+def test_repr_is_cheap(lazy_graph):
+    text = repr(lazy_graph.adjacency)
+    assert "LazyAdjacency" in text
+    assert len(lazy_graph.adjacency._sets) == 0  # repr materialises nothing

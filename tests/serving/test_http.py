@@ -535,3 +535,123 @@ def test_negative_workers_rejected(figure1):
 
     with pytest.raises(SpecError):
         ServingApp(QueryService(figure1), workers=-1)
+
+
+# ----------------------------------------------------------------------
+# Queue bound: fresh misses beyond the depth shed with 503 + Retry-After
+# ----------------------------------------------------------------------
+def _request_with_headers(base_url: str, method: str, path: str, payload=None):
+    host = base_url.removeprefix("http://")
+    connection = http.client.HTTPConnection(host, timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.getheaders()),
+        )
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def slow_served(figure1, monkeypatch):
+    """A served app whose every solve takes ~0.3s, queue depth 1."""
+    from repro.serving import service as service_module
+
+    original = service_module.QueryService._solve
+
+    def _slow_solve(self, query):
+        time.sleep(0.3)
+        return original(self, query)
+
+    monkeypatch.setattr(service_module.QueryService, "_solve", _slow_solve)
+    app = ServingApp(QueryService(figure1), max_queue_depth=1)
+    with run_server_in_thread(app) as base_url:
+        yield app, base_url
+
+
+def test_queue_bound_sheds_with_retry_after(slow_served):
+    app, base_url = slow_served
+    distinct = [
+        {"k": 2, "r": 2, "f": "sum"},
+        {"k": 3, "r": 2, "f": "sum"},
+        {"k": 2, "r": 1, "f": "min"},
+    ]
+    outcomes = []
+
+    def _fire(raw):
+        outcomes.append(
+            _request_with_headers(base_url, "POST", "/query", raw)
+        )
+
+    threads = [
+        threading.Thread(target=_fire, args=(raw,)) for raw in distinct
+    ]
+    threads[0].start()
+    time.sleep(0.1)  # let the first solve occupy the queue
+    for thread in threads[1:]:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    statuses = sorted(status for status, _b, _h in outcomes)
+    assert statuses == [200, 503, 503]
+    for status, body, headers in outcomes:
+        if status == 503:
+            assert "Retry-After" in headers
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue is full" in body["error"]
+    assert app.shed == 2
+    # Once the convoy clears, the same queries are admitted again.
+    status, _body, _headers = _request_with_headers(
+        base_url, "POST", "/query", distinct[1]
+    )
+    assert status == 200
+
+
+def test_coalesced_and_cached_never_shed(slow_served):
+    app, base_url = slow_served
+    raw = {"k": 2, "r": 2, "f": "sum"}
+    outcomes = []
+
+    def _fire():
+        outcomes.append(post(base_url, "/query", raw))
+
+    # Identical queries coalesce onto one in-flight solve: depth 1 is
+    # never exceeded, nobody sheds.
+    threads = [threading.Thread(target=_fire) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+        time.sleep(0.05)
+    for thread in threads:
+        thread.join(timeout=30)
+    assert [status for status, _b in outcomes] == [200, 200, 200]
+    assert app.shed == 0
+    # And a cache hit while the queue is "full" of another solve.
+    blocker = threading.Thread(
+        target=post, args=(base_url, "/query", {"k": 3, "r": 1, "f": "sum"})
+    )
+    blocker.start()
+    time.sleep(0.1)
+    status, _body = post(base_url, "/query", raw)  # cached from above
+    assert status == 200
+    blocker.join(timeout=30)
+    assert app.shed == 0
+
+
+def test_stats_expose_queue_and_fleet_fields(served):
+    __, app, base_url = served
+    status, stats = get(base_url, "/stats")
+    assert status == 200
+    assert stats["http"]["shed"] == 0
+    assert stats["http"]["max_queue_depth"] == 0
+    assert stats["http"]["draining"] is False
+    assert stats["epoch"] == 0
+    assert stats["rss_bytes"] > 0
+    assert stats["replication_lag"] is None
+    status, health = get(base_url, "/healthz")
+    assert health["rss_bytes"] > 0
+    assert health["replication_lag"] is None
+    assert "member" not in health
