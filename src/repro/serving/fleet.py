@@ -151,6 +151,7 @@ class Replicator:
                 None, self.log.append, op, payload
             )
             response: "dict | None" = None
+            conflict: "Exception | None" = None
             for pending in await loop.run_in_executor(None, self.cursor.poll):
                 try:
                     result = await self._apply_record_locked(pending)
@@ -158,7 +159,12 @@ class Replicator:
                     self.apply_failures += 1
                     self.applied_seq = pending.seq
                     if pending.seq == record.seq:
-                        raise _HTTPError(
+                        # Deferred, not raised: the poll above already
+                        # consumed every record in this batch, so bailing
+                        # out mid-loop would drop a sibling's record that
+                        # can never be re-polled — this replica would
+                        # silently diverge from the rest of the fleet.
+                        conflict = _HTTPError(
                             409,
                             "update conflicts with a concurrent mutation "
                             f"(seq {record.seq} skipped on every replica): "
@@ -169,6 +175,8 @@ class Replicator:
                 if pending.seq == record.seq:
                     response = result
             await self._maybe_refresh_locked()
+            if conflict is not None:
+                raise conflict
             if response is None:  # pragma: no cover — append is fsynced
                 raise _HTTPError(
                     500, f"appended seq {record.seq} did not replay"
@@ -251,11 +259,16 @@ class Replicator:
 class SnapshotRefresher:
     """Rewrites the serving snapshot after every N absorbed mutations.
 
-    ``save_snapshot`` already writes every array to a pid-suffixed temp
-    file and renames, manifest last, so a reader (or a crash) mid-refresh
-    sees either the old snapshot or the new one — never a torn mix.  The
-    stamped ``replication_seq`` is what lets the next cold start (or a
-    ``--follow`` standby) skip the already-absorbed prefix of the log.
+    ``save_snapshot`` writes every array to a pid-suffixed temp file and
+    renames, manifest last, so a reader (or a crash) mid-refresh sees
+    either the old snapshot or the new one — never a torn mix; it also
+    flocks the directory's ``.save.lock`` for the whole save, so two
+    refreshers at different applied seqs (every fleet member runs one,
+    and an operator may run ``repro snapshot refresh`` too) serialise
+    instead of interleaving per-file renames, and a save that would
+    regress the stamped seq is skipped.  The stamped ``replication_seq``
+    is what lets the next cold start (or a ``--follow`` standby) skip
+    the already-absorbed prefix of the log.
     """
 
     def __init__(self, app, path, every: int) -> None:
@@ -553,8 +566,10 @@ class Fleet:
         self.substrate = SharedSubstrate.publish(self.service)
         ready_queue = context.Queue()
         reuseport = self.mode == "reuseport"
+        reserved: "socket.socket | None" = None
         if reuseport and self.port == 0:
-            self.port = _probe_port(self.host)
+            reserved = _reserve_port(self.host)
+            self.port = reserved.getsockname()[1]
         try:
             for index in range(self.members):
                 config = {
@@ -619,6 +634,9 @@ class Fleet:
         except BaseException:
             self.stop()
             raise
+        finally:
+            if reserved is not None:
+                reserved.close()
 
     # -- teardown ------------------------------------------------------
     def stop(self) -> None:
@@ -655,12 +673,21 @@ class Fleet:
         self.stop()
 
 
-def _probe_port(host: str) -> int:
-    """Pick a concrete free port for a reuseport group to share."""
-    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+def _reserve_port(host: str) -> socket.socket:
+    """Bind (without listening) the first socket of a reuseport group.
+
+    The caller keeps the returned socket open until every fleet member
+    has bound the same port: closing it earlier would open a window in
+    which an unrelated process could take the port and members would
+    fail with EADDRINUSE.  A bound-but-not-listening TCP socket receives
+    no connections, so holding it is free; forked members inherit the fd,
+    which only extends the guarantee for as long as any member lives.
+    """
+    reserved = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
-        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-        probe.bind((host, 0))
-        return probe.getsockname()[1]
-    finally:
-        probe.close()
+        reserved.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        reserved.bind((host, 0))
+    except BaseException:
+        reserved.close()
+        raise
+    return reserved

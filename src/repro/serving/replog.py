@@ -22,6 +22,9 @@ Durability/consistency model, deliberately minimal:
   appends the mutations *it* received);
 * readers only consume **newline-terminated** lines, so a torn tail
   (crash mid-append) is invisible until completed — never misparsed;
+  the next successful append terminates a torn tail with a newline
+  first, so a crash loses only the crashed writer's own record, never
+  a later one;
 * a malformed or out-of-order record is *skipped deterministically* (and
   counted) by every reader, so one corrupt line cannot fork replicas;
 * compaction happens via snapshots, not log rewriting: a refreshed
@@ -174,13 +177,28 @@ class ReplicationLog:
                 # look, so the new seq lands strictly past the head.
                 for record in self._tail.poll():
                     pass
+                prefix = b""
+                if self._tail._pending:
+                    # A writer died mid-append: the file ends in a torn,
+                    # newline-less line.  Terminate it so it cannot merge
+                    # with our record — which would make this fsynced
+                    # mutation unparseable (and therefore dropped) on
+                    # every replica.  Readers then skip the torn line as
+                    # malformed — unless it was a complete record that
+                    # only lost its newline, in which case the terminator
+                    # revives it and our seq must land past it.
+                    torn = _parse_line(self._tail._pending)
+                    if torn is not None and torn.seq > self._tail.seq:
+                        self._tail.seq = torn.seq
+                    prefix = b"\n"
+                    self._tail._pending = b""
                 record = LogRecord(
                     seq=self._tail.seq + 1,
                     op=op,
                     payload=payload,
                     ts=time.time(),
                 )
-                handle.write(record.to_line())
+                handle.write(prefix + record.to_line())
                 handle.flush()
                 os.fsync(handle.fileno())
                 self._tail.seq = record.seq

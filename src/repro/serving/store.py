@@ -48,6 +48,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+try:  # pragma: no cover — fcntl exists everywhere this repo targets
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
 from repro._version import __version__
 from repro.errors import SnapshotError
 from repro.graphs.builder import graph_from_csr_arrays
@@ -68,6 +73,8 @@ SNAPSHOT_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
 _MANIFEST = "manifest.json"
+#: flock'd while a save is in flight — serialises concurrent savers.
+_SAVE_LOCK = ".save.lock"
 
 
 @dataclass(frozen=True)
@@ -136,15 +143,60 @@ def save_snapshot(
     Returns the snapshot directory.  Overwrites any snapshot already at
     ``path``; the manifest is written last, so an interrupted save is
     detected (and refused) at load time rather than served.
+
+    Concurrent saves into one directory are serialised by an exclusive
+    ``flock`` on ``.save.lock``: each per-file rename below is atomic,
+    but two interleaved savers (a fleet member's periodic refresh racing
+    a sibling's, or an operator's ``repro snapshot refresh``) could
+    otherwise leave arrays from one state next to a manifest from
+    another.  Under that lock, a save carrying a ``replication_seq`` no
+    newer than the seq already stamped on disk is skipped — replay is
+    deterministic, so an equal seq means an identical state, and an
+    older one would regress the snapshot a racing refresher just wrote.
     """
     if include_truss not in (True, False, "auto"):
         raise SnapshotError(
             f"include_truss must be True, False or 'auto', got {include_truss!r}"
         )
-    graph = service.graph
-    csr = graph.csr
     root = pathlib.Path(path)
     root.mkdir(parents=True, exist_ok=True)
+    with open(root / _SAVE_LOCK, "ab") as lock_handle:
+        if fcntl is not None:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+        try:
+            _save_snapshot_locked(service, root, include_truss, replication_seq)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+    return root
+
+
+def _manifest_replication_seq(root: pathlib.Path) -> "int | None":
+    """``replication_seq`` of the complete snapshot at ``root``, if any."""
+    try:
+        manifest = json.loads((root / _MANIFEST).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    value = manifest.get("replication_seq")
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def _save_snapshot_locked(
+    service: "QueryService",
+    root: pathlib.Path,
+    include_truss: "bool | str",
+    replication_seq: "int | None",
+) -> None:
+    if replication_seq is not None:
+        existing = _manifest_replication_seq(root)
+        if existing is not None and existing >= int(replication_seq):
+            return
+    graph = service.graph
+    csr = graph.csr
     stale = root / _MANIFEST
     if stale.exists():
         stale.unlink()  # an interrupted overwrite must not look complete
@@ -240,7 +292,6 @@ def save_snapshot(
     finally:
         os.close(directory)
     _save_text(_MANIFEST, json.dumps(manifest, indent=2) + "\n")
-    return root
 
 
 def _load_array(

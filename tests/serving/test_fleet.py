@@ -215,6 +215,37 @@ def test_follower_replays_through_app_paths(figure1, tmp_path):
     follower.shutdown_executors()
 
 
+def test_publish_conflict_keeps_interleaved_foreign_record(figure1, tmp_path):
+    """A 409 on the caller's own record must not drop a sibling's record
+    consumed in the same poll batch — the cursor can never re-read it,
+    so bailing out mid-batch would leave this replica diverged forever."""
+    from repro.serving.http import _HTTPError
+
+    app = ServingApp(QueryService(figure1))
+    replicator = attach_replication(app, tmp_path / "repl.log")
+    sibling = ReplicationLog(tmp_path / "repl.log")
+    own_append = replicator.log.append
+
+    def _append_then_lose_the_race(op, payload):
+        record = own_append(op, payload)
+        # A sibling lands a valid mutation after our append and before
+        # our poll, so one poll batch holds both records.
+        sibling.append("update-weights", {"weights": [3.0] * figure1.n})
+        return record
+
+    replicator.log.append = _append_then_lose_the_race
+    with pytest.raises(_HTTPError) as excinfo:
+        # Edge (0, 1) already exists in figure1 → replay rejects it,
+        # deterministically, on every replica.
+        asyncio.run(replicator.publish("update-edges", {"insert": [[0, 1]]}))
+    assert excinfo.value.status == 409
+    assert replicator.apply_failures == 1
+    assert replicator.applied_seq == 2  # the sibling's record was applied
+    assert list(app.service.graph.weights) == [3.0] * figure1.n
+    assert replicator.status()["lag"] == 0
+    app.shutdown_executors()
+
+
 def test_fleet_requires_log_and_members():
     from repro.serving.fleet import FleetError
 

@@ -75,6 +75,38 @@ def test_torn_tail_is_invisible_until_completed(log_path):
     assert [r.seq for r in cursor.poll()] == [2]
 
 
+def test_append_repairs_torn_tail(log_path):
+    """An append after a crashed writer terminates the torn tail, so the
+    new record stays parseable everywhere (only the crashed writer's own
+    record is lost)."""
+    log = ReplicationLog(log_path)
+    log.append("update-edges", {"insert": [[0, 1]]})
+    with open(log_path, "ab") as handle:
+        handle.write(b'{"seq": 2, "op": "update-e')  # crash mid-append
+    record = log.append("update-edges", {"insert": [[1, 2]]})
+    assert record.seq == 2
+    cursor = LogCursor(log_path)
+    assert [r.seq for r in cursor.poll()] == [1, 2]
+    assert cursor.skipped == 1  # the terminated torn line, malformed
+    assert head_seq(log_path) == 2
+
+
+def test_append_repairs_unterminated_complete_tail(log_path):
+    """A tail that is a complete record missing only its newline is
+    revived by the repair terminator, so the next seq must land past it
+    instead of colliding with it."""
+    log = ReplicationLog(log_path)
+    log.append("update-edges", {"insert": [[0, 1]]})
+    unterminated = LogRecord(
+        seq=2, op="update-edges", payload={"insert": [[1, 2]]}, ts=0.0
+    ).to_line()[:-1]
+    with open(log_path, "ab") as handle:
+        handle.write(unterminated)
+    record = log.append("update-edges", {"insert": [[2, 3]]})
+    assert record.seq == 3
+    assert [r.seq for r in LogCursor(log_path).poll()] == [1, 2, 3]
+
+
 def test_malformed_and_stale_lines_are_skipped_and_counted(log_path):
     with open(log_path, "wb") as handle:
         handle.write(b"not json at all\n")

@@ -181,6 +181,30 @@ def test_save_overwrites_previous_snapshot(saved, tmp_path):
     ) == service.submit(InfluentialQuery(k=2, r=1, f="sum"))
 
 
+def test_save_skips_replication_seq_regression(figure1, tmp_path):
+    """Racing refreshers must not roll the snapshot back: a save whose
+    ``replication_seq`` is not newer than the one on disk is a no-op
+    (replay is deterministic, so equal seq means identical state)."""
+    path = tmp_path / "snap"
+    ahead = QueryService(figure1)
+    ahead.update_weights([5.0] * figure1.n)
+    save_snapshot(ahead, path, replication_seq=5)
+
+    behind = QueryService(figure1)  # a laggard replica's older state
+    for stale_seq in (3, 5):
+        save_snapshot(behind, path, replication_seq=stale_seq)
+        kept = load_snapshot(path)
+        assert kept.replication_seq == 5
+        np.testing.assert_array_equal(kept.weights, [5.0] * figure1.n)
+
+    newer = QueryService(figure1)
+    newer.update_weights([7.0] * figure1.n)
+    save_snapshot(newer, path, replication_seq=6)
+    advanced = load_snapshot(path)
+    assert advanced.replication_seq == 6
+    np.testing.assert_array_equal(advanced.weights, [7.0] * figure1.n)
+
+
 # ----------------------------------------------------------------------
 # No re-peel: the call-count probes
 # ----------------------------------------------------------------------
