@@ -263,14 +263,19 @@ def build_parser() -> argparse.ArgumentParser:
     snap_load.add_argument("path", help="snapshot directory")
     snap_refresh = snap_sub.add_parser(
         "refresh",
-        help="replay a replication log's unabsorbed tail into a snapshot "
-        "and rewrite it in place with the new seq stamped",
+        help="replay a replication log's unabsorbed tail into a snapshot, "
+        "rewrite it in place with the new seq stamped, and compact the "
+        "absorbed log prefix",
     )
     snap_refresh.add_argument(
         "--snapshot", required=True, help="snapshot directory to refresh"
     )
     snap_refresh.add_argument(
         "--log", required=True, help="replication log to absorb"
+    )
+    snap_refresh.add_argument(
+        "--no-compact", action="store_true",
+        help="keep the absorbed log prefix instead of truncating it",
     )
 
     index = sub.add_parser(
@@ -773,16 +778,35 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             except Exception as exc:  # skipped on every replica alike
                 failures += 1
                 print(f"skipping seq {record.seq}: {exc}", file=sys.stderr)
+        def _compact_absorbed(upto_seq: int) -> int:
+            if args.no_compact:
+                return 0
+            from repro.serving.fleet import COMPACT_MIN_AGE
+            from repro.serving.replog import ReplicationLog
+
+            # Everything at or below upto_seq is durable in the
+            # snapshot; the age margin protects members currently
+            # tailing the log (see ReplicationLog.compact).
+            return ReplicationLog(args.log).compact(
+                upto_seq, min_age=COMPACT_MIN_AGE
+            )
+
         if applied == 0 and cursor.seq == before:
+            # Nothing new to absorb, but the already-absorbed prefix may
+            # still be sitting in the log (e.g. a re-run after an earlier
+            # refresh that found every record too young to drop).
+            compacted = _compact_absorbed(before)
             print(
                 f"snapshot {args.snapshot} already at seq {before}; "
-                "nothing to absorb"
+                f"nothing to absorb ({compacted} log records compacted)"
             )
             return 0
         save_snapshot(service, args.snapshot, replication_seq=cursor.seq)
+        compacted = _compact_absorbed(cursor.seq)
         print(
             f"refreshed {args.snapshot}: seq {before} -> {cursor.seq} "
             f"({applied} applied, {failures} skipped, "
+            f"{compacted} log records compacted, "
             f"n={service.graph.n}, m={service.graph.m})"
         )
         return 0

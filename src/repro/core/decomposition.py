@@ -7,10 +7,10 @@ preprocessing step of every solver, and it also yields the ``kmax`` column
 of the paper's Table III (the largest k with a non-empty k-core).
 
 Two implementations coexist behind the ``backend=`` switch: the original
-pointer-chasing BZ peel over set adjacency (``"set"``) and a vectorised
-frontier peel over the CSR arrays (``"csr"``, the default) that removes
-whole degree-level waves per numpy round instead of one vertex per Python
-iteration.
+pointer-chasing BZ peel over set adjacency (``"set"``) and the kernel-tier
+flat-array implementation (``"csr"``, the default) — a vectorised
+degree-wave peel in pure numpy, or the compiled BZ bucket loop when Numba
+is installed (:func:`repro.kernels.core_numbers` dispatches).
 
 Reference: V. Batagelj and M. Zaveršnik, "An O(m) Algorithm for Cores
 Decomposition of Networks", 2003.
@@ -20,16 +20,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.graphs.backend import resolve_backend
-from repro.graphs.csr import decrement_degrees
 from repro.graphs.graph import Graph
 
 
 def core_decomposition(graph: Graph, backend: str = "auto") -> np.ndarray:
     """Core number of every vertex, O(n + m).
 
-    ``backend="csr"`` runs the vectorised frontier peel below;
-    ``backend="set"`` runs BZ bucket peeling: vertices sorted by current
+    ``backend="csr"`` dispatches to the kernel tier
+    (:func:`repro.kernels.core_numbers`); ``backend="set"`` runs BZ
+    bucket peeling: vertices sorted by current
     degree in a flat array with bucket boundaries; repeatedly peel the
     minimum-degree vertex and decrement neighbours, swapping them down a
     bucket.  Both return the identical int64 core-number array.
@@ -38,7 +39,8 @@ def core_decomposition(graph: Graph, backend: str = "auto") -> np.ndarray:
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     if resolve_backend(backend) == "csr":
-        return _core_decomposition_csr(graph)
+        csr = graph.csr
+        return kernels.core_numbers(csr.indptr, csr.indices)
     adj = graph.adjacency
     degree = [len(adj[v]) for v in range(n)]
     max_degree = max(degree)
@@ -75,40 +77,6 @@ def core_decomposition(graph: Graph, backend: str = "auto") -> np.ndarray:
                 bin_start[du] += 1
                 core[u] -= 1
     return np.asarray(core, dtype=np.int64)
-
-
-def _core_decomposition_csr(graph: Graph) -> np.ndarray:
-    """Vectorised BZ over CSR arrays: peel degree-level waves, not vertices.
-
-    Outer loop raises the peel level k to the minimum surviving degree;
-    inner loop removes the whole ``degree <= k`` frontier at once, gathers
-    every surviving neighbour of the frontier in one CSR multi-slice, and
-    decrements their degrees with a single bincount.  Vertices removed
-    while the level is k have core number exactly k, so the result matches
-    the sequential peel.
-    """
-    csr = graph.csr
-    n = csr.n
-    degree = csr.degrees()
-    core = np.zeros(n, dtype=np.int64)
-    alive = np.ones(n, dtype=bool)
-    sentinel = np.iinfo(np.int64).max
-    remaining = n
-    k = 0
-    while remaining:
-        level_floor = int(np.where(alive, degree, sentinel).min())
-        if level_floor > k:
-            k = level_floor
-        frontier = np.flatnonzero(alive & (degree <= k))
-        while frontier.size:
-            core[frontier] = k
-            alive[frontier] = False
-            remaining -= frontier.size
-            neigh = csr.gather(frontier)
-            neigh = neigh[alive[neigh]]
-            candidates = decrement_degrees(degree, neigh)
-            frontier = candidates[degree[candidates] <= k]
-    return core
 
 
 def kmax(graph: Graph) -> int:

@@ -10,21 +10,29 @@ operations instead of per-vertex Python set intersections, which is where
 the order-of-magnitude speedups come from (see
 ``benchmarks/bench_substrates.py``).
 
-The class also hosts the two vectorised primitives every kernel needs:
+The class also hosts the vectorised primitives every kernel needs:
 
 * :meth:`gather` / :meth:`gather_full` — concatenate the neighbour runs of
   a frontier array in one shot (the repeat/arange offset trick);
-* :meth:`subset_degrees` / :meth:`peel_to_kcore` — induced degrees of a
-  boolean vertex mask and the fixpoint "delete while min degree < k" peel
-  shared by :func:`repro.core.kcore.kcore_of_subset` and
+* :meth:`subset_degrees` / :meth:`peel_to_kcore` /
+  :meth:`components_of_mask` — induced degrees of a boolean vertex mask,
+  the fixpoint "delete while min degree < k" peel, and the masked
+  component split shared by :func:`repro.core.kcore.kcore_of_subset` and
   :class:`repro.core.peeler.PeelingWorkspace`.
+
+The peel and component-split hot loops themselves live in
+:mod:`repro.kernels` (compiled when Numba is installed, pure numpy
+otherwise); the methods here are thin flat-array adapters around that
+dispatch point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import VertexError
+from repro.kernels import decrement_degrees
 
 __all__ = ["CSRAdjacency", "decrement_degrees", "membership_mask"]
 
@@ -185,68 +193,13 @@ class CSRAdjacency:
     def components_of_mask(self, mask: np.ndarray) -> list[np.ndarray]:
         """Connected components among the vertices with ``mask`` set.
 
-        Vectorised frontier BFS: each round gathers the neighbour runs of
-        the whole frontier at once.  Components are emitted in order of
-        their smallest member and each is a sorted int64 id array — the
-        same contract as the set-backend splitter, so solver outputs do
-        not depend on the backend.  ``mask`` is not modified.
+        Components are emitted in order of their smallest member and each
+        is a sorted int64 id array — the same contract as the set-backend
+        splitter, so solver outputs do not depend on the backend.
+        ``mask`` is not modified.  The BFS itself runs in the kernel tier
+        (:func:`repro.kernels.components_of_mask`).
         """
-        unvisited = mask.copy()
-        # Two escape hatches keep the level-synchronous BFS from paying
-        # fixed overheads per level on shapes it does not suit: narrow
-        # levels sort their own neighbour multiset instead of the O(n)
-        # scratch-mask collect, and a component whose frontier is *still*
-        # narrow after many levels is a high-diameter chain — numpy call
-        # overhead per level would make it quadratic-feeling, so the
-        # remainder drains through a scalar worklist instead.
-        scratch = np.zeros(mask.size, dtype=bool)
-        components: list[np.ndarray] = []
-        for seed in np.flatnonzero(mask):
-            if not unvisited[seed]:
-                continue
-            unvisited[seed] = False
-            frontier = np.asarray([seed], dtype=np.int64)
-            chunks = [frontier]
-            level = 0
-            while frontier.size:
-                level += 1
-                if level >= 32 and frontier.size * 64 < mask.size:
-                    chunks.append(self._drain_bfs(frontier, unvisited))
-                    break
-                neigh = self.gather(frontier)
-                neigh = neigh[unvisited[neigh]]
-                if neigh.size == 0:
-                    break
-                unvisited[neigh] = False
-                if neigh.size * 16 < mask.size:
-                    frontier = np.unique(neigh).astype(np.int64, copy=False)
-                else:
-                    scratch[neigh] = True
-                    frontier = np.flatnonzero(scratch)
-                    scratch[frontier] = False
-                chunks.append(frontier)
-            if len(chunks) == 1:
-                components.append(chunks[0])
-            else:
-                components.append(np.sort(np.concatenate(chunks)))
-        return components
-
-    def _drain_bfs(self, frontier: np.ndarray, unvisited: np.ndarray) -> np.ndarray:
-        """Finish a BFS one vertex at a time from an already-visited
-        frontier; returns the newly reached vertices (marked visited)."""
-        indptr, indices = self.indptr, self.indices
-        queue = frontier.tolist()
-        head = 0
-        found: list[int] = []
-        while head < len(queue):
-            v = queue[head]
-            head += 1
-            for u in indices[indptr[v] : indptr[v + 1]].tolist():
-                if unvisited[u]:
-                    unvisited[u] = False
-                    found.append(u)
-                    queue.append(u)
-        return np.asarray(found, dtype=np.int64)
+        return kernels.components_of_mask(self.indptr, self.indices, mask)
 
     # ------------------------------------------------------------------
     # Subset kernels
@@ -269,37 +222,13 @@ class CSRAdjacency:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Peel ``mask`` (in place) to the maximal sub-k-core.
 
-        Frontier loop: delete every masked vertex with induced degree < k,
-        decrement its surviving neighbours via one bincount, repeat until
-        the fixpoint.  Returns ``(mask, degrees)``; ``degrees`` is exact
-        for surviving vertices (stale entries may remain for deleted ones).
+        Delete every masked vertex with induced degree < k, cascade the
+        degree decrements, repeat until the fixpoint — the loop itself is
+        :func:`repro.kernels.peel_to_kcore`.  Returns ``(mask, degrees)``;
+        ``degrees`` is exact for surviving vertices (stale entries may
+        remain for deleted ones).
         """
-        members = np.flatnonzero(mask)
         if degrees is None:
-            degrees = self.subset_degrees(mask, members)
-        frontier = members[degrees[members] < k]
-        while frontier.size:
-            mask[frontier] = False
-            neigh = self.gather(frontier)
-            neigh = neigh[mask[neigh]]
-            candidates = decrement_degrees(degrees, neigh)
-            frontier = candidates[degrees[candidates] < k]
+            degrees = self.subset_degrees(mask)
+        kernels.peel_to_kcore(self.indptr, self.indices, mask, k, degrees)
         return mask, degrees
-
-
-def decrement_degrees(degrees: np.ndarray, neigh: np.ndarray) -> np.ndarray:
-    """Subtract each occurrence in ``neigh`` from ``degrees``; return the
-    distinct touched vertices.
-
-    Hybrid strategy: a full-length bincount costs O(n) regardless of the
-    frontier, so small waves (the long tail of a cascade) use duplicate-safe
-    ``subtract.at`` plus a sort-based unique instead — each wave then costs
-    O(x log x) in its own size only.
-    """
-    n = degrees.size
-    if neigh.size * 16 < n:
-        np.subtract.at(degrees, neigh, 1)
-        return np.unique(neigh)
-    counts = np.bincount(neigh, minlength=n)
-    degrees -= counts
-    return np.flatnonzero(counts)

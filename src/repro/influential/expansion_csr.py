@@ -46,6 +46,7 @@ query — see ``benchmarks/bench_solvers.py`` / ``BENCH_solver_expansion.json``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.influential.expansion import (
     removal_loss,
     sum_alpha_of,
 )
+from repro.utils.parallel import expansion_executor
 from repro.utils.zobrist import ZobristHasher
 
 __all__ = ["MemberArray", "ComponentStructure", "CSRExpansionContext"]
@@ -365,6 +367,16 @@ class CSRExpansionContext:
         re-read per surviving removal (one scalar comparison) so a
         threshold that tightens mid-batch keeps pruning — only removals
         that clear the live bound materialise arrays.
+
+        When the process-wide expansion pool is active (compiled kernels
+        installed, or ``REPRO_EXPANSION_THREADS`` set — see
+        :func:`repro.utils.parallel.expansion_executor`) and the batch
+        carries more than one cascading removal, the per-removal child
+        computations are dispatched to threads speculatively and replayed
+        here in the original order, with the live floor applied at yield
+        time — the emitted sequence is byte-identical to the sequential
+        path; a floor that tightens mid-batch merely turns some
+        already-computed children into discarded speculation.
         """
         ids = self.members.ids
         c = ids.size
@@ -388,6 +400,21 @@ class CSRExpansionContext:
         has_weak = self.has_weak
         small = c - 1 <= self.k
         loss_list = losses[eligible].tolist() if losses is not None else None
+        executor, window = expansion_executor()
+        if executor is not None:
+            cascades = int(
+                np.count_nonzero(has_weak[eligible] | articulation[eligible])
+            )
+            if cascades >= 2:
+                yield from self._expand_threaded(
+                    eligible.tolist(),
+                    loss_list,
+                    floor_now,
+                    small,
+                    executor,
+                    window,
+                )
+                return
         for pos, i in enumerate(eligible.tolist()):
             if loss_list is not None:
                 if parent_value - loss_list[pos] < floor_now():
@@ -398,6 +425,67 @@ class CSRExpansionContext:
                 yield from self._cascade_children(i)
             elif not small:
                 yield self._fast_child(i)
+
+    def _children_of_removal(self, i: int, small: bool) -> list[ChildCandidate]:
+        """Children of removing local id ``i`` — the unit of threaded work.
+
+        Reads only immutable structure arrays and allocates fresh
+        scratch, so any number of these may run concurrently against one
+        :class:`ComponentStructure` (``articulation`` is forced by the
+        caller before dispatch, so the lazy init never races).
+        """
+        if self.has_weak[i] or self.articulation[i]:
+            return self._cascade_children(i)
+        if small:
+            return []
+        return [self._fast_child(i)]
+
+    def _expand_threaded(
+        self,
+        eligible: list[int],
+        loss_list: "list[float] | None",
+        floor_now,
+        small: bool,
+        executor,
+        window: int,
+    ) -> Iterator[ChildCandidate]:
+        """Speculative threaded expansion with in-order replay.
+
+        A sliding window of at most ``window`` removals runs ahead on the
+        pool; results are consumed strictly in submission order and the
+        live floor is evaluated at the same point of the consumption
+        sequence as the sequential path — identical output, with the
+        pruned removals' work wasted rather than skipped (bounded by the
+        window).  The compiled kernels release the GIL inside the peel
+        and BFS loops, which is where the overlap comes from.
+        """
+        parent_value = self.parent_value
+        pending: deque = deque()
+        submitted = 0
+        try:
+            while submitted < len(eligible) or pending:
+                while submitted < len(eligible) and len(pending) < window:
+                    i = eligible[submitted]
+                    pending.append(
+                        (
+                            submitted,
+                            executor.submit(self._children_of_removal, i, small),
+                        )
+                    )
+                    submitted += 1
+                pos, future = pending.popleft()
+                children = future.result()
+                if loss_list is not None:
+                    if parent_value - loss_list[pos] < floor_now():
+                        continue
+                elif parent_value < floor_now():
+                    return
+                yield from children
+        finally:
+            # An abandoned or floor-terminated generator must not leave
+            # speculative work queued behind it on the shared pool.
+            for __, future in pending:
+                future.cancel()
 
     # ------------------------------------------------------------------
     # Child construction

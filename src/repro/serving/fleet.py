@@ -50,6 +50,14 @@ __all__ = ["Fleet", "Replicator", "SnapshotRefresher"]
 #: How often an idle member looks for foreign log records (seconds).
 POLL_INTERVAL = 0.05
 
+#: Age margin (seconds) a record must reach before post-refresh
+#: compaction may drop it.  Restart safety never depends on this (a
+#: member attaching after compaction starts from the snapshot that
+#: already absorbed the dropped prefix); the margin exists for *running*
+#: members, which read the log lock-free on a ~POLL_INTERVAL cadence —
+#: two orders of magnitude of headroom over the poll window.
+COMPACT_MIN_AGE = 5.0
+
 #: How long Fleet.stop() waits for a SIGTERMed member before SIGKILL.
 STOP_TIMEOUT = 15.0
 
@@ -269,18 +277,34 @@ class SnapshotRefresher:
     regress the stamped seq is skipped.  The stamped ``replication_seq``
     is what lets the next cold start (or a ``--follow`` standby) skip
     the already-absorbed prefix of the log.
+
+    When constructed with the replication ``log``, every successful
+    refresh is followed by :meth:`ReplicationLog.compact` up to the seq
+    the snapshot just made durable (with the :data:`COMPACT_MIN_AGE`
+    margin for running readers), so the log stays proportional to the
+    un-absorbed suffix instead of growing without bound.
     """
 
-    def __init__(self, app, path, every: int) -> None:
+    def __init__(
+        self,
+        app,
+        path,
+        every: int,
+        log: "ReplicationLog | None" = None,
+        compact_min_age: float = COMPACT_MIN_AGE,
+    ) -> None:
         if every < 1:
             raise ValueError(f"refresh interval must be >= 1, got {every}")
         self.app = app
         self.path = path
         self.every = int(every)
+        self.log = log
+        self.compact_min_age = float(compact_min_age)
         self.pending = 0
         self.last_applied = 0
         self.refreshes = 0
         self.last_seq = 0
+        self.compacted_records = 0
 
     async def maybe_refresh_locked(self, applied_seq: int) -> None:
         """Count newly-absorbed seqs; refresh when the interval fills."""
@@ -300,6 +324,16 @@ class SnapshotRefresher:
         self.pending = 0
         self.refreshes += 1
         self.last_seq = applied_seq
+        if self.log is not None:
+            # Safe even when the save above was skipped as not-newer: the
+            # manifest then already stamps a seq >= applied_seq, so every
+            # record at or below it is durable in the snapshot.
+            self.compacted_records += await loop.run_in_executor(
+                None,
+                lambda: self.log.compact(
+                    applied_seq, min_age=self.compact_min_age
+                ),
+            )
 
 
 def attach_replication(
@@ -321,7 +355,7 @@ def attach_replication(
     )
     if refresh_every > 0 and snapshot_path is not None:
         replicator.refresher = SnapshotRefresher(
-            app, snapshot_path, refresh_every
+            app, snapshot_path, refresh_every, log=replicator.log
         )
     app.replicator = replicator
     return replicator
@@ -497,6 +531,13 @@ class Fleet:
     ``mode`` is ``"reuseport"`` (kernel load-balancing, one shared
     port), ``"proxy"`` (parent round-robins to per-member ephemeral
     ports), or ``"auto"`` (reuseport when the platform supports it).
+
+    ``members`` is deliberately *not* capped at the core count (unlike
+    the CPU-bound solver pools, which clamp via
+    :func:`repro.utils.parallel.cap_workers`): members are event-loop
+    processes that spend most of their life parked in ``epoll``, the
+    count is explicit operator configuration, and the replication tests
+    legitimately run more members than a small CI box has cores.
     """
 
     def __init__(

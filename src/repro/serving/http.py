@@ -87,6 +87,7 @@ from repro.serving.service import (
     _worker_solve_counted,
 )
 from repro.utils.memory import rss_bytes
+from repro.utils.parallel import cap_workers
 
 __all__ = ["ServingApp", "result_payload", "run_server_in_thread", "serve"]
 
@@ -246,8 +247,13 @@ class ServingApp:
                 from repro.serving.substrate import SharedSubstrate
 
                 self._pool_substrate = SharedSubstrate.publish(self.service)
+            # `workers` is the operator's request; the pool itself is
+            # capped at the usable core count — solver workers are
+            # CPU-bound, so overcommitting cores only buys fork overhead
+            # and memory pressure (same sizing rule as submit_many's
+            # shard pool).
             self._process_pool = ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=cap_workers(self.workers),
                 mp_context=context,
                 initializer=_worker_init,
                 initargs=self.service.worker_initargs(self._pool_substrate),

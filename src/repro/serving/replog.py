@@ -27,10 +27,19 @@ Durability/consistency model, deliberately minimal:
   a later one;
 * a malformed or out-of-order record is *skipped deterministically* (and
   counted) by every reader, so one corrupt line cannot fork replicas;
-* compaction happens via snapshots, not log rewriting: a refreshed
-  snapshot stores the ``replication_seq`` it absorbed, and a process
-  starting from it tails the log from that seq (see
-  :func:`repro.serving.store.save_snapshot`).
+* a refreshed snapshot stores the ``replication_seq`` it absorbed, and a
+  process starting from it tails the log from that seq (see
+  :func:`repro.serving.store.save_snapshot`); after such a refresh the
+  absorbed prefix is dead weight, and :meth:`ReplicationLog.compact`
+  drops it — atomically, by writing the retained suffix to a temp file
+  and renaming it over the log under the same exclusive ``flock`` that
+  serialises appends.  Readers and appenders detect the rewrite by inode
+  identity: a :class:`LogCursor` whose file changed identity restarts
+  from offset 0 (dedup-by-seq drops anything it already applied), and an
+  appender that acquired the lock on a replaced inode reopens and
+  retries.  Compaction always retains the newest complete record, so the
+  head seq never regresses (a regressed head would hand out duplicate
+  seqs that every cursor then discards as already-seen).
 """
 
 from __future__ import annotations
@@ -109,15 +118,28 @@ class LogCursor:
         self.skipped = 0
         self._offset = 0
         self._pending = b""
+        self._identity: "tuple[int, int] | None" = None
 
     def poll(self, max_records: "int | None" = None) -> list[LogRecord]:
         """Every new complete record since the last poll (maybe empty)."""
         try:
             with open(self.path, "rb") as handle:
-                size = os.fstat(handle.fileno()).st_size
+                stat = os.fstat(handle.fileno())
+                identity = (stat.st_dev, stat.st_ino)
+                if identity != self._identity:
+                    # A different inode under the same name: compaction
+                    # (or rotation) renamed a rewritten log over the one
+                    # this cursor was tailing.  Byte offsets into the old
+                    # file mean nothing in the new one — even when the new
+                    # file happens to be *larger* — so restart from the
+                    # top; dedup-by-seq drops anything already applied.
+                    if self._identity is not None:
+                        self._offset = 0
+                        self._pending = b""
+                    self._identity = identity
+                size = stat.st_size
                 if size < self._offset:
-                    # The log shrank (rotated/recreated): restart from the
-                    # top, dedup-by-seq drops anything already applied.
+                    # Same inode but truncated underneath us: restart too.
                     self._offset = 0
                     self._pending = b""
                 if size == self._offset:
@@ -169,43 +191,151 @@ class ReplicationLog:
         """Durably append one mutation; returns the stamped record."""
         if op not in VALID_OPS:
             raise ValueError(f"unknown replication op {op!r}")
-        with open(self.path, "ab") as handle:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        while True:
+            with open(self.path, "ab") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    if self._rotated(handle):
+                        # We waited out the lock on an inode a concurrent
+                        # compact() just renamed away; anything written to
+                        # it would be invisible.  Reopen the live file.
+                        continue
+                    # Catch up on lines other writers appended since our
+                    # last look, so the new seq lands strictly past the
+                    # head.
+                    for record in self._tail.poll():
+                        pass
+                    prefix = b""
+                    if self._tail._pending:
+                        # A writer died mid-append: the file ends in a torn,
+                        # newline-less line.  Terminate it so it cannot merge
+                        # with our record — which would make this fsynced
+                        # mutation unparseable (and therefore dropped) on
+                        # every replica.  Readers then skip the torn line as
+                        # malformed — unless it was a complete record that
+                        # only lost its newline, in which case the terminator
+                        # revives it and our seq must land past it.
+                        torn = _parse_line(self._tail._pending)
+                        if torn is not None and torn.seq > self._tail.seq:
+                            self._tail.seq = torn.seq
+                        prefix = b"\n"
+                        self._tail._pending = b""
+                    record = LogRecord(
+                        seq=self._tail.seq + 1,
+                        op=op,
+                        payload=payload,
+                        ts=time.time(),
+                    )
+                    handle.write(prefix + record.to_line())
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    self._tail.seq = record.seq
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            return record
+
+    def _rotated(self, handle) -> bool:
+        """True when ``handle`` no longer refers to the file at ``path``."""
+        held = os.fstat(handle.fileno())
+        try:
+            live = os.stat(self.path)
+        except FileNotFoundError:
+            return True
+        return (held.st_dev, held.st_ino) != (live.st_dev, live.st_ino)
+
+    def compact(self, upto_seq: int, min_age: float = 0.0) -> int:
+        """Drop the fully-absorbed prefix: records with ``seq <= upto_seq``.
+
+        Callers pass the ``replication_seq`` a successful snapshot
+        refresh just stamped — every dropped record is therefore already
+        durable in the snapshot, so a standby attaching afterwards (load
+        snapshot, tail from its seq) never needs them.  Guarantees:
+
+        * runs under the same exclusive ``flock`` as appends, and
+          replaces the log via write-temp-then-rename — a reader sees the
+          old bytes or the new bytes, never a torn mix, and the old inode
+          is never mutated;
+        * only a *prefix* of lines is dropped (malformed lines fall with
+          it), so surviving bytes keep their order and the retained
+          suffix is byte-identical to what a tailing cursor would have
+          read anyway;
+        * the newest complete record always survives, even at
+          ``seq <= upto_seq``: it anchors seq assignment for the next
+          append and keeps :func:`head_seq` monotone;
+        * ``min_age`` (seconds) exempts young records: a *running* member
+          polls every ~50 ms, but between its poll and its apply the
+          prefix it is about to read must not vanish — a few seconds of
+          age margin closes that window without retaining meaningful
+          history (restarting members are safe regardless: they attach
+          from the snapshot that already absorbed the dropped prefix).
+
+        Returns the number of complete records dropped.
+        """
+        upto_seq = int(upto_seq)
+        if upto_seq <= 0:
+            return 0
+        while True:
             try:
-                # Catch up on lines other writers appended since our last
-                # look, so the new seq lands strictly past the head.
-                for record in self._tail.poll():
-                    pass
-                prefix = b""
-                if self._tail._pending:
-                    # A writer died mid-append: the file ends in a torn,
-                    # newline-less line.  Terminate it so it cannot merge
-                    # with our record — which would make this fsynced
-                    # mutation unparseable (and therefore dropped) on
-                    # every replica.  Readers then skip the torn line as
-                    # malformed — unless it was a complete record that
-                    # only lost its newline, in which case the terminator
-                    # revives it and our seq must land past it.
-                    torn = _parse_line(self._tail._pending)
-                    if torn is not None and torn.seq > self._tail.seq:
-                        self._tail.seq = torn.seq
-                    prefix = b"\n"
-                    self._tail._pending = b""
-                record = LogRecord(
-                    seq=self._tail.seq + 1,
-                    op=op,
-                    payload=payload,
-                    ts=time.time(),
+                handle = open(self.path, "rb")
+            except FileNotFoundError:
+                return 0
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                if self._rotated(handle):
+                    continue  # lost a race with a concurrent compact
+                data = handle.read()
+                lines = data.split(b"\n")
+                torn_tail = lines.pop()  # b"" when the log ends on \n
+                last_complete = -1
+                for index in range(len(lines) - 1, -1, -1):
+                    if _parse_line(lines[index]) is not None:
+                        last_complete = index
+                        break
+                if last_complete < 0:
+                    return 0
+                horizon = time.time() - min_age
+                cut = 0
+                dropped = 0
+                for index, line in enumerate(lines):
+                    if index >= last_complete:
+                        break
+                    record = _parse_line(line)
+                    if record is None:
+                        cut = index + 1
+                        continue
+                    if record.seq <= upto_seq and (
+                        min_age <= 0 or record.ts <= horizon
+                    ):
+                        cut = index + 1
+                        dropped += 1
+                        continue
+                    break
+                if cut == 0:
+                    return 0
+                retained = (
+                    b"".join(line + b"\n" for line in lines[cut:]) + torn_tail
                 )
-                handle.write(prefix + record.to_line())
-                handle.flush()
-                os.fsync(handle.fileno())
-                self._tail.seq = record.seq
+                temp = self.path.with_name(
+                    f"{self.path.name}.compact.{os.getpid()}"
+                )
+                with open(temp, "wb") as out:
+                    out.write(retained)
+                    out.flush()
+                    os.fsync(out.fileno())
+                os.replace(temp, self.path)
+                directory = os.open(self.path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(directory)
+                finally:
+                    os.close(directory)
+                return dropped
             finally:
                 if fcntl is not None:
                     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-        return record
+                handle.close()
 
     def head_seq(self) -> int:
         """Highest complete seq in the log right now (0 for empty/absent)."""

@@ -45,6 +45,7 @@ from repro.influential.results import ResultSet
 from repro.serving.cache import LRUCache
 from repro.serving.engine_pool import ExpansionEnginePool
 from repro.serving.query import InfluentialQuery
+from repro.utils.parallel import cap_workers
 from repro.serving.updates import (
     UpdateReport,
     component_mask,
@@ -339,8 +340,14 @@ class QueryService:
                 substrate = SharedSubstrate.publish(self)
             failure: BaseException | None = None
             try:
+                # Shard count stays as requested (assignment is part of
+                # the workload's determinism), but the pool never forks
+                # more processes than there are usable cores: extra
+                # workers beyond that only add fork/IPC overhead, and
+                # queued shard futures drain through the capped pool
+                # unchanged.
                 with ProcessPoolExecutor(
-                    max_workers=len(shards),
+                    max_workers=cap_workers(len(shards)),
                     mp_context=context,
                     initializer=_worker_init,
                     initargs=self.worker_initargs(substrate),

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
 from repro.utils.heaps import IndexedMaxHeap
@@ -62,26 +63,19 @@ def edge_supports(graph: Graph, backend: str = "auto") -> dict[tuple[int, int], 
 
 
 def _edge_supports_csr(graph: Graph) -> dict[tuple[int, int], int]:
-    """Fully vectorised support counting over the CSR arrays.
+    """Flat-array support counting: orient here, count in the kernel tier.
 
-    Orient every edge from lower to higher (degree, id) rank; the oriented
-    arc list, sorted by (source, target), doubles as a searchable edge
-    index via the composite key ``src * n + dst``.  For each arc (u, v),
-    scan the *smaller* of forward(u)/forward(v): candidate w closes a
-    triangle iff the remaining pair is also a forward arc.  A triangle
-    with ranks a < b < c is found only at its (a, b) arc — the completing
-    test from any other arc would need a backward arc — so each triangle
-    counts exactly once whichever side is scanned.  Arc blocks of bounded
-    size gather their (arc, w) candidate pairs, one searchsorted tests
-    them, and one bincount accumulates the per-arc triangle counts; total
-    work is ``sum min(|forward(u)|, |forward(v)|)``, the classic O(m^1.5)
-    bound, and peak memory is capped per block.
+    Orient every edge from lower to higher (degree, id) rank — the same
+    orientation as the set backend, so peel tie-breaks downstream see
+    identical supports — and hand the forward-arc CSR (``fptr``/``fdst``,
+    runs sorted by target) to :func:`repro.kernels.arc_supports`: the
+    O(m^1.5) smaller-endpoint triangle enumeration, vectorised in numpy
+    or compiled under Numba.  Arc ``i`` is the undirected edge
+    ``(fsrc[i], fdst[i])``; the result keys stay (u, v) with u < v.
     """
     csr = graph.csr
     n = csr.n
     degree = csr.degrees()
-    # position in the (degree, id) rank order — same orientation as the
-    # set backend, so peel tie-breaks downstream see identical supports.
     order = np.lexsort((np.arange(n), degree))
     position = np.empty(n, dtype=np.int64)
     position[order] = np.arange(n)
@@ -89,49 +83,9 @@ def _edge_supports_csr(graph: Graph) -> dict[tuple[int, int], int]:
     dst = csr.indices
     keep = position[src] < position[dst]
     fsrc, fdst = src[keep], dst[keep]
-    arcs = len(fsrc)  # == m, each undirected edge once
-    support = np.zeros(arcs, dtype=np.int64)
-    if arcs:
-        fcount = np.bincount(fsrc, minlength=n)
-        fptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(fcount, out=fptr[1:])
-        composite = fsrc * n + fdst  # sorted ascending by construction
-        src_smaller = fcount[fsrc] <= fcount[fdst]
-        scanned = np.where(src_smaller, fsrc, fdst)
-        tested = np.where(src_smaller, fdst, fsrc)
-        expand = fcount[scanned]  # |forward(scanned)| per arc
-        cum = np.cumsum(expand)
-        # Total candidate pairs is the O(m^1.5) work bound; process arcs in
-        # blocks so peak memory stays bounded instead of tracking it (a
-        # large clique would otherwise materialise gigabyte-sized arrays).
-        chunk_pairs = 1 << 22
-        start = 0
-        while start < arcs:
-            base = int(cum[start - 1]) if start else 0
-            stop = int(np.searchsorted(cum, base + chunk_pairs, side="right"))
-            stop = max(stop, start + 1)
-            block_expand = expand[start:stop]
-            block_total = int(cum[stop - 1]) - base
-            if block_total:
-                arc_of = np.repeat(
-                    np.arange(start, stop, dtype=np.int64), block_expand
-                )
-                # w_pos[j] walks forward(scanned) for arc j: one fused
-                # repeat carries both run start and cumulative offset.
-                block_cum = cum[start:stop] - base
-                w_pos = np.arange(block_total, dtype=np.int64) + np.repeat(
-                    fptr[scanned[start:stop]] - (block_cum - block_expand),
-                    block_expand,
-                )
-                w = fdst[w_pos]
-                key = tested[arc_of] * n + w
-                found = np.minimum(np.searchsorted(composite, key), arcs - 1)
-                hit = composite[found] == key
-                support += np.bincount(
-                    np.concatenate([arc_of[hit], w_pos[hit], found[hit]]),
-                    minlength=arcs,
-                )
-            start = stop
+    fptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(fsrc, minlength=n), out=fptr[1:])
+    support = kernels.arc_supports(fptr, fdst)
     lo = np.minimum(fsrc, fdst).tolist()
     hi = np.maximum(fsrc, fdst).tolist()
     return {

@@ -1,0 +1,151 @@
+"""Parity of the kernel tier against the numpy fallback and set oracles.
+
+Three implementations of every hot kernel must agree *bit for bit*:
+
+* whatever :mod:`repro.kernels` dispatched to at import time (compiled
+  Numba kernels when installed, the numpy fallback otherwise),
+* :mod:`repro.kernels._numpy` pinned directly (so on a Numba-equipped
+  machine this suite really holds compiled-vs-fallback together — on a
+  fallback-only machine the pair is trivially equal and the set oracle
+  carries the test),
+* the original ``backend="set"`` implementations above the kernel tier.
+
+Exactness is the contract: peel fixpoints, component splits, core
+numbers and triangle counts are integer results with one correct value,
+so solvers may switch backends without their answers moving by a bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.decomposition import core_decomposition
+from repro.core.kcore import kcore_of_subset
+from repro.graphs.builder import graph_from_edges
+from repro.graphs.components import connected_components_of
+from repro.kernels import _numpy as fallback
+from repro.truss.decomposition import edge_supports
+
+
+@st.composite
+def graphs(draw, min_n=2, max_n=16, max_edges=48):
+    n = draw(st.integers(min_n, max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=max_edges)
+    )
+    return graph_from_edges(edges, weights=[1.0] * n, n=n)
+
+
+def _subset_mask(draw_subset, graph, data):
+    subset = data.draw(
+        st.lists(
+            st.integers(0, graph.n - 1), unique=True, max_size=graph.n
+        )
+    )
+    mask = np.zeros(graph.n, dtype=bool)
+    mask[subset] = True
+    return subset, mask
+
+
+def _forward_arcs(graph):
+    """The (fptr, fsrc, fdst) degree orientation ``edge_supports`` builds."""
+    csr = graph.csr
+    n = csr.n
+    degree = csr.degrees()
+    order = np.lexsort((np.arange(n), degree))
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    src = np.repeat(np.arange(n, dtype=np.int64), degree)
+    keep = position[src] < position[csr.indices]
+    fsrc, fdst = src[keep], csr.indices[keep]
+    fptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(fsrc, minlength=n), out=fptr[1:])
+    return fptr, fsrc, fdst
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_core_numbers_parity(graph):
+    csr = graph.csr
+    oracle = core_decomposition(graph, backend="set")
+    dispatched = kernels.core_numbers(csr.indptr, csr.indices)
+    pure = fallback.core_numbers(csr.indptr, csr.indices)
+    assert dispatched.dtype == np.int64 and pure.dtype == np.int64
+    assert np.array_equal(dispatched, oracle)
+    assert np.array_equal(dispatched, pure)
+
+
+@given(graphs(), st.integers(0, 5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_peel_to_kcore_parity(graph, k, data):
+    subset, mask = _subset_mask(None, graph, data)
+    oracle = kcore_of_subset(graph, subset, k, backend="set")
+    csr = graph.csr
+    results = {}
+    for name, impl in (("dispatch", kernels), ("numpy", fallback)):
+        peel_mask = mask.copy()
+        degrees = csr.subset_degrees(peel_mask)
+        impl.peel_to_kcore(csr.indptr, csr.indices, peel_mask, k, degrees)
+        results[name] = (peel_mask, degrees)
+        assert set(np.flatnonzero(peel_mask).tolist()) == oracle
+        # Survivor degrees are exact induced degrees of the fixpoint.
+        assert np.array_equal(
+            degrees[peel_mask], csr.subset_degrees(peel_mask)[peel_mask]
+        )
+    assert np.array_equal(results["dispatch"][0], results["numpy"][0])
+    # Survivor entries agree bitwise; deleted entries may hold stale
+    # values and those are explicitly outside the kernel contract.
+    survivors = results["dispatch"][0]
+    assert np.array_equal(
+        results["dispatch"][1][survivors], results["numpy"][1][survivors]
+    )
+
+
+@given(graphs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_components_of_mask_parity(graph, data):
+    subset, mask = _subset_mask(None, graph, data)
+    oracle = connected_components_of(graph, subset, backend="set")
+    csr = graph.csr
+    before = mask.copy()
+    dispatched = kernels.components_of_mask(csr.indptr, csr.indices, mask)
+    pure = fallback.components_of_mask(csr.indptr, csr.indices, mask)
+    assert np.array_equal(mask, before), "mask must not be modified"
+    assert [set(piece.tolist()) for piece in dispatched] == oracle
+    assert len(dispatched) == len(pure)
+    for a, b in zip(dispatched, pure):
+        # Identical contract down to dtype and sortedness.
+        assert a.dtype == np.int64 and b.dtype == np.int64
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, np.sort(a))
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_arc_supports_parity(graph):
+    oracle = edge_supports(graph, backend="set")
+    fptr, fsrc, fdst = _forward_arcs(graph)
+    dispatched = kernels.arc_supports(fptr, fdst)
+    pure = fallback.arc_supports(fptr, fdst)
+    assert dispatched.dtype == np.int64 and pure.dtype == np.int64
+    assert np.array_equal(dispatched, pure)
+    lo = np.minimum(fsrc, fdst).tolist()
+    hi = np.maximum(fsrc, fdst).tolist()
+    assert {
+        (u, v): s for u, v, s in zip(lo, hi, dispatched.tolist())
+    } == oracle
+
+
+def test_empty_graph_kernels():
+    empty_ptr = np.zeros(1, dtype=np.int64)
+    empty_idx = np.zeros(0, dtype=np.int32)
+    assert kernels.core_numbers(empty_ptr, empty_idx).size == 0
+    assert (
+        kernels.components_of_mask(
+            empty_ptr, empty_idx, np.zeros(0, dtype=bool)
+        )
+        == []
+    )
+    assert kernels.arc_supports(empty_ptr, empty_idx).size == 0

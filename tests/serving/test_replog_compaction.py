@@ -1,0 +1,336 @@
+"""Replication-log compaction: atomic prefix truncation + reattachment.
+
+``ReplicationLog.compact`` may only drop records a snapshot already made
+durable, must never regress the head seq, and must be invisible to every
+reader and writer sharing the file — cursors restart from the rewritten
+log via inode identity, appenders retry, and a standby attaching from
+the stamping snapshot converges exactly as if nothing had been dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serving.fleet import SnapshotRefresher, attach_replication
+from repro.serving.http import ServingApp
+from repro.serving.replog import LogCursor, ReplicationLog, head_seq
+from repro.serving.service import QueryService
+
+QUERY = {"k": 2, "r": 2, "f": "sum"}
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return tmp_path / "repl.log"
+
+
+def _fill(log, count, start=0):
+    for i in range(count):
+        log.append("update-edges", {"insert": [[start + i, start + i + 1]]})
+
+
+# ----------------------------------------------------------------------
+# Core truncation semantics
+# ----------------------------------------------------------------------
+def test_compact_drops_absorbed_prefix(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 5)
+    assert log.compact(3) == 3
+    cursor = LogCursor(log_path)
+    assert [r.seq for r in cursor.poll()] == [4, 5]
+    assert head_seq(log_path) == 5
+
+
+def test_compact_is_a_noop_below_the_retained_suffix(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 4)
+    assert log.compact(2) == 2
+    size = log_path.stat().st_size
+    assert log.compact(2) == 0  # already gone
+    assert log.compact(0) == 0
+    assert log.compact(-1) == 0
+    assert log_path.stat().st_size == size
+
+
+def test_compact_missing_or_empty_log(tmp_path):
+    log = ReplicationLog(tmp_path / "absent.log")
+    assert log.compact(10) == 0  # file never created
+    log_path = tmp_path / "empty.log"
+    log_path.write_bytes(b"")
+    assert ReplicationLog(log_path).compact(10) == 0
+
+
+def test_newest_record_survives_full_absorption(log_path):
+    """Compacting past the head must keep the last complete record: the
+    next append's seq is assigned from the retained head, and a regressed
+    head would hand out duplicate seqs every cursor then discards."""
+    log = ReplicationLog(log_path)
+    _fill(log, 3)
+    assert log.compact(99) == 2  # drops 1-2, record 3 anchors the seq
+    assert [r.seq for r in LogCursor(log_path).poll()] == [3]
+    record = log.append("update-edges", {"insert": [[7, 8]]})
+    assert record.seq == 4
+    assert head_seq(log_path) == 4
+
+
+def test_seq_continuity_for_a_fresh_appender_after_compact(log_path):
+    """An appender constructed *after* compaction (e.g. a restarted
+    member) still lands strictly past the historical head."""
+    log = ReplicationLog(log_path)
+    _fill(log, 5)
+    log.compact(4)
+    fresh = ReplicationLog(log_path)
+    assert fresh.append("update-edges", {"insert": [[9, 10]]}).seq == 6
+
+
+def test_torn_tail_survives_compaction(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 3)
+    torn = b'{"seq": 4, "op": "update-edges", "payl'
+    with open(log_path, "ab") as handle:
+        handle.write(torn)
+    assert log.compact(2) == 2
+    assert log_path.read_bytes().endswith(torn)
+    # The crashed writer's line is still repaired by the next append.
+    record = ReplicationLog(log_path).append(
+        "update-edges", {"insert": [[5, 6]]}
+    )
+    assert record.seq == 4
+    assert [r.seq for r in LogCursor(log_path).poll()] == [3, 4]
+
+
+def test_malformed_prefix_lines_fall_with_the_prefix(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 2)
+    with open(log_path, "ab") as handle:
+        handle.write(b"not json at all\n")
+    _fill(log, 2, start=10)  # seqs 3, 4
+    assert log.compact(3) == 3  # the garbage line is not a "record"
+    lines = log_path.read_bytes().splitlines()
+    assert [json.loads(line)["seq"] for line in lines] == [4]
+
+
+def test_compact_never_drops_unparseable_suffix_order(log_path):
+    """Only a *prefix* may go: a young or unabsorbed record fences every
+    record behind it, even absorbed ones (order is preserved)."""
+    log = ReplicationLog(log_path)
+    _fill(log, 3)
+    # Hand-craft an out-of-order stale record *after* seq 3; a real log
+    # never interleaves like this, but compaction must stay prefix-only.
+    stale = {"seq": 1, "epoch": 1, "op": "update-edges",
+             "payload": {}, "ts": 0.0}
+    with open(log_path, "ab") as handle:
+        handle.write((json.dumps(stale) + "\n").encode())
+    _fill(log, 1, start=20)  # seq 4
+    # The stale duplicate is itself <= upto_seq, so it falls with the
+    # prefix (4 records dropped), leaving exactly the unabsorbed suffix.
+    assert log.compact(3) == 4
+    lines = [json.loads(x) for x in log_path.read_bytes().splitlines()]
+    assert [doc["seq"] for doc in lines] == [4]
+
+
+def test_min_age_exempts_young_records(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 4)
+    # Every record was appended milliseconds ago: a min_age margin keeps
+    # all of them for running members mid-poll.
+    assert log.compact(3, min_age=60.0) == 0
+    assert log.compact(3, min_age=0.0) == 3
+
+
+def test_min_age_drops_old_keeps_young(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 2)
+    # Age the first two records on disk (rewrite their ts field).
+    lines = log_path.read_bytes().splitlines()
+    aged = []
+    for line in lines:
+        doc = json.loads(line)
+        doc["ts"] = time.time() - 120.0
+        aged.append(json.dumps(doc, separators=(",", ":")).encode() + b"\n")
+    log_path.write_bytes(b"".join(aged))
+    _fill(log, 2, start=10)  # seqs 3, 4 — fresh timestamps
+    assert log.compact(4, min_age=60.0) == 2  # old pair gone, young fence
+    cursor = LogCursor(log_path)
+    assert [r.seq for r in cursor.poll()] == [3, 4]
+
+
+# ----------------------------------------------------------------------
+# Readers and writers racing a compaction
+# ----------------------------------------------------------------------
+def test_cursor_survives_compaction_without_loss_or_duplicates(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 3)
+    cursor = LogCursor(log_path)
+    assert [r.seq for r in cursor.poll()] == [1, 2, 3]
+    log.compact(2)
+    _fill(log, 3, start=10)  # seqs 4-6: the new file is *larger* than
+    # the cursor's stale offset was, so only inode identity (not a size
+    # check) can reveal the rewrite.
+    assert [r.seq for r in cursor.poll()] == [4, 5, 6]
+    assert [r.seq for r in cursor.poll()] == []
+
+
+def test_cursor_attaching_between_compactions(log_path):
+    log = ReplicationLog(log_path)
+    _fill(log, 4)
+    log.compact(2)
+    cursor = LogCursor(log_path, start_seq=2)  # snapshot stamped seq 2
+    assert [r.seq for r in cursor.poll()] == [3, 4]
+    log.compact(4)  # second compaction while the cursor is attached
+    _fill(log, 1, start=30)  # seq 5
+    assert [r.seq for r in cursor.poll()] == [5]
+
+
+def test_appender_detects_rotation_under_its_lock(log_path):
+    """An appender that opened the pre-compaction inode must reopen: a
+    write to the renamed-away file would be durable nowhere."""
+    log = ReplicationLog(log_path)
+    _fill(log, 3)
+    with open(log_path, "ab") as stale_handle:
+        # Compact while another appender holds an open handle to the old
+        # inode (the lock is free between appends, so this interleaving
+        # is exactly what two processes produce).
+        log.compact(2)
+        assert log._rotated(stale_handle)
+    record = ReplicationLog(log_path).append(
+        "update-edges", {"insert": [[8, 9]]}
+    )
+    assert record.seq == 4
+    assert [r.seq for r in LogCursor(log_path).poll()] == [3, 4]
+
+
+# ----------------------------------------------------------------------
+# Refresher wiring + standby convergence
+# ----------------------------------------------------------------------
+def test_refresher_compacts_after_successful_refresh(figure1, tmp_path):
+    log_path = tmp_path / "repl.log"
+    app = ServingApp(QueryService(figure1))
+    try:
+        replicator = attach_replication(
+            app,
+            log_path,
+            snapshot_path=tmp_path / "snap",
+            refresh_every=2,
+        )
+        assert replicator.refresher is not None
+        assert replicator.refresher.log is replicator.log
+        replicator.refresher.compact_min_age = 0.0  # deterministic here
+
+        async def _mutate():
+            await replicator.publish("update-edges", {"insert": [[0, 7]]})
+            await replicator.publish(
+                "update-weights", {"weights": [2.0] * figure1.n}
+            )
+
+        asyncio.run(_mutate())
+        refresher = replicator.refresher
+        assert refresher.refreshes == 1
+        assert refresher.last_seq == 2
+        # Both absorbed records dropped except the head anchor.
+        assert refresher.compacted_records == 1
+        assert [r.seq for r in LogCursor(log_path).poll()] == [2]
+        manifest = json.loads((tmp_path / "snap" / "manifest.json").read_text())
+        assert manifest["replication_seq"] == 2
+    finally:
+        app.shutdown_executors()
+
+
+def test_standby_attaching_mid_compaction_converges(figure1, tmp_path):
+    """The acceptance scenario: snapshot stamps seq S, compaction to S
+    runs, new mutations land, and a standby attaching from the snapshot
+    (load state absorbed through S, tail from S) converges to the leader
+    byte-for-byte — the dropped prefix is never needed."""
+    log_path = tmp_path / "repl.log"
+    leader = ServingApp(QueryService(figure1))
+    try:
+        leader_rep = attach_replication(
+            leader,
+            log_path,
+            snapshot_path=tmp_path / "snap",
+            refresh_every=2,
+        )
+        leader_rep.refresher.compact_min_age = 0.0
+
+        async def _leader_mutations():
+            await leader_rep.publish("update-edges", {"insert": [[0, 7]]})
+            # Refresh + compaction fire here (every=2): snapshot stamps
+            # seq 2, records 1-2 leave the log (head anchor stays).
+            await leader_rep.publish(
+                "update-weights", {"weights": [2.0] * figure1.n}
+            )
+            # Post-compaction mutation the standby must still receive.
+            await leader_rep.publish("update-edges", {"insert": [[1, 7]]})
+
+        asyncio.run(_leader_mutations())
+        assert leader_rep.applied_seq == 3
+
+        from repro.serving.store import load_snapshot
+
+        snapshot = load_snapshot(tmp_path / "snap")
+        standby = ServingApp(QueryService(snapshot.graph()))
+        try:
+            standby_rep = attach_replication(
+                standby, log_path, start_seq=snapshot.replication_seq
+            )
+
+            async def _catch_up():
+                async with standby._update_lock:
+                    await standby_rep._sync_locked()
+
+            asyncio.run(_catch_up())
+            assert standby_rep.applied_seq == 3
+            assert standby_rep.apply_failures == 0
+            assert standby_rep.status()["lag"] == 0
+            expected = leader.service.submit(QUERY)
+            mirrored = standby.service.submit(QUERY)
+            assert mirrored.values() == expected.values()
+            assert [sorted(c.vertices) for c in mirrored] == [
+                sorted(c.vertices) for c in expected
+            ]
+        finally:
+            standby.shutdown_executors()
+    finally:
+        leader.shutdown_executors()
+
+
+def test_refresher_default_min_age_protects_running_members(figure1, tmp_path):
+    """With the production margin left in place, freshly-appended records
+    survive the refresh-triggered compaction — a running member tailing
+    at poll cadence can never have its unread prefix vanish."""
+    log_path = tmp_path / "repl.log"
+    app = ServingApp(QueryService(figure1))
+    try:
+        replicator = attach_replication(
+            app,
+            log_path,
+            snapshot_path=tmp_path / "snap",
+            refresh_every=2,
+        )
+        assert replicator.refresher.compact_min_age > 0
+
+        async def _mutate():
+            await replicator.publish("update-edges", {"insert": [[0, 7]]})
+            await replicator.publish(
+                "update-weights", {"weights": [2.0] * figure1.n}
+            )
+
+        asyncio.run(_mutate())
+        assert replicator.refresher.refreshes == 1
+        assert replicator.refresher.compacted_records == 0  # too young
+        assert [r.seq for r in LogCursor(log_path).poll()] == [1, 2]
+    finally:
+        app.shutdown_executors()
+
+
+def test_snapshot_refresher_accepts_no_log():
+    """Plain refreshers (no replication) still construct and size-check."""
+    with pytest.raises(ValueError):
+        SnapshotRefresher(None, "x", every=0)
+    refresher = SnapshotRefresher(None, "x", every=3)
+    assert refresher.log is None
+    assert refresher.compacted_records == 0
