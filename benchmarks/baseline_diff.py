@@ -1,38 +1,41 @@
-"""Shared warn-only baseline diffing for the CI benchmark smoke runs.
+"""Shared *gating* baseline diffing for the CI benchmark smoke runs.
 
 Every ``bench_*.py --baseline`` run compares the speedup *ratios* of a
 fresh CI-sized measurement against a committed baseline report (absolute
-times differ per runner, ratios mostly do not) and used to carry its own
-copy of the compare loop.  This module is the single implementation:
+times differ per runner, ratios mostly do not).  Until PR 9 this diff was
+warn-only; it now funnels through the regression comparator
+(:mod:`repro.bench.compare`) and **fails the build** on a regression:
 
-* :func:`report_ratio_metrics` prints the familiar ``ok`` /
-  ``::warning::`` console lines (never fails the run — the diff is
-  advisory), and
-* appends a Markdown table to ``$GITHUB_STEP_SUMMARY`` when Actions
-  provides one, so regressions are visible on the run page itself
-  instead of buried in annotation noise.
+* :func:`report_ratio_metrics` prints the familiar ``ok`` / ``::error::``
+  console lines, appends the comparator's Markdown verdict table to
+  ``$GITHUB_STEP_SUMMARY``, and returns the exit code the bench's
+  ``main()`` must propagate — 0 on PASS (or a waived regression), 1 on
+  FAIL.
+* ``failures=[...]`` carries non-numeric hard failures (a fast path
+  disagreeing with its oracle); they gate exactly like a slowdown.
+* Intentional regressions are acknowledged in ``benchmarks/waivers.json``
+  (see :func:`repro.bench.compare.load_waivers`) — matched metrics render
+  as ``waived`` and do not fail the build.
 
 A bench whose shapes do not match its baseline (different graph or
 workload sizes) passes ``notes=[...]`` with no metrics: the summary then
 records *why* the comparison was skipped rather than silently showing
-nothing.
+nothing, and the run passes (shape drift is a grid-definition change, not
+a regression).
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 from typing import Iterable, Sequence
 
-__all__ = ["report_ratio_metrics"]
+from repro.bench.compare import compare_ratio_metrics, load_waivers
+from repro.bench.report import append_step_summary, render_comparison
 
-_OK = "✅ ok"
-_REGRESSED = "⚠️ regressed"
+__all__ = ["WAIVERS_PATH", "report_ratio_metrics"]
 
-
-def _summary_path() -> "pathlib.Path | None":
-    raw = os.environ.get("GITHUB_STEP_SUMMARY", "").strip()
-    return pathlib.Path(raw) if raw else None
+#: The committed waiver file every bench diff consults.
+WAIVERS_PATH = pathlib.Path(__file__).resolve().parent / "waivers.json"
 
 
 def report_ratio_metrics(
@@ -40,61 +43,43 @@ def report_ratio_metrics(
     metrics: Iterable[Sequence[object]],
     tolerance: float = 0.7,
     notes: Iterable[str] = (),
+    failures: Iterable[str] = (),
+    waivers_path: "pathlib.Path | None" = WAIVERS_PATH,
 ) -> int:
-    """Diff ``(label, fresh, baseline)`` speedup triples, warn-only.
+    """Diff ``(label, fresh, baseline)`` speedup triples — gating.
 
-    A metric regresses when ``fresh < baseline * tolerance``.  Always
-    returns 0: regressions surface as ``::warning::`` annotations plus a
-    row in the step-summary table, never as a failed build — absolute CI
-    runner performance is too noisy to gate merges on.
+    A metric regresses when ``fresh < baseline * tolerance``; a fresh
+    value at least as good as its baseline can never regress.  Returns
+    the process exit code: 1 when any unwaived metric (or hard
+    ``failure``) regressed, 0 otherwise.
     """
-    rows: list[tuple[str, str, str, str, str]] = []
-    for label, fresh, baseline in metrics:
-        fresh_value, base_value = float(fresh), float(baseline)
-        floor = base_value * tolerance
-        if fresh_value < floor:
-            status = _REGRESSED
-            print(
-                f"::warning::{bench}: fresh {label} {fresh_value}x is below "
-                f"{tolerance:.0%} of the committed baseline {base_value}x"
-            )
+    report = compare_ratio_metrics(
+        bench,
+        metrics,
+        tolerance=tolerance,
+        notes=notes,
+        failures=failures,
+        waivers=load_waivers(waivers_path),
+    )
+    for metric in report.metrics:
+        if metric.status == "regressed":
+            if metric.fresh is None:  # a hard failure, not a slowdown
+                print(f"::error::{bench}: {metric.metric}")
+            else:
+                print(
+                    f"::error::{bench}: {metric.metric} regressed — fresh "
+                    f"{metric.fresh} vs baseline {metric.baseline} "
+                    f"(threshold {metric.threshold})"
+                )
+        elif metric.status == "waived":
+            print(f"::notice::{bench}: {metric.metric} — {metric.detail}")
         else:
-            status = _OK
             print(
-                f"{bench}: fresh {label} {fresh_value}x vs baseline "
-                f"{base_value}x — ok"
+                f"{bench}: {metric.metric} fresh {metric.fresh} vs "
+                f"baseline {metric.baseline} — ok"
             )
-        rows.append(
-            (label, f"{fresh_value}x", f"{base_value}x", f"{floor:.2f}x", status)
-        )
-    notes = list(notes)
-    for note in notes:
+    for note in report.notes:
         print(f"{bench}: {note}")
-    _append_step_summary(bench, rows, tolerance, notes)
-    return 0
-
-
-def _append_step_summary(
-    bench: str,
-    rows: list[tuple[str, str, str, str, str]],
-    tolerance: float,
-    notes: list[str],
-) -> None:
-    path = _summary_path()
-    if path is None:
-        return
-    lines = [f"### `{bench}` vs committed CI baseline", ""]
-    if rows:
-        lines += [
-            f"| metric | fresh | baseline | floor ({tolerance:.0%}) | status |",
-            "|---|---:|---:|---:|:---|",
-        ]
-        lines += [
-            f"| {label} | {fresh} | {baseline} | {floor} | {status} |"
-            for label, fresh, baseline, floor, status in rows
-        ]
-    for note in notes:
-        lines.append(f"> {note}")
-    lines.append("")
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write("\n".join(lines) + "\n")
+    append_step_summary(render_comparison(report))
+    print(f"{bench}: verdict {report.verdict}")
+    return report.exit_code

@@ -24,7 +24,7 @@ Four measurements, all on the PR 3 mixed-workload catalogue:
 
 ``python benchmarks/bench_fleet.py`` writes ``BENCH_fleet.json``;
 ``--ci --baseline benchmarks/BENCH_fleet_ci_baseline.json`` is the
-warn-only CI smoke (ratios only; absolute numbers are runner noise).
+gating CI smoke (ratios only; absolute numbers are runner noise).
 """
 
 from __future__ import annotations
@@ -360,15 +360,15 @@ def measure_fleet(
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn-only ratio diff: qps scaling and the RSS reduction factor."""
+    """Gating ratio diff: qps scaling and the RSS reduction factor, with a
+    served/cold answer disagreement failing outright."""
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
-    notes = []
+    failures = []
     if not fresh_report.get("results_agree", False):
-        print("::warning::fleet: served results disagree with cold run")
-        notes.append("served results disagree with cold run")
+        failures.append("served results disagree with cold run")
     same_shape = (
         fresh_report.get("graph") == base_report.get("graph")
         and fresh_report.get("workload") == base_report.get("workload")
@@ -379,11 +379,11 @@ def compare_to_baseline(
             "bench_fleet",
             [],
             tolerance=tolerance,
-            notes=notes
-            + [
+            notes=[
                 "graph/workload/cpu shapes differ from baseline — ratios "
                 "are not comparable, skipped"
             ],
+            failures=failures,
         )
     return report_ratio_metrics(
         "bench_fleet",
@@ -400,7 +400,7 @@ def compare_to_baseline(
             ),
         ],
         tolerance=tolerance,
-        notes=notes,
+        failures=failures,
     )
 
 
@@ -420,7 +420,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph + fleet sweep for the warn-only CI smoke diff",
+        help="shrunk graph + fleet sweep for the gating CI smoke diff",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -430,7 +430,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff the ratios against this committed "
-        "report (warn-only; never fails the run)",
+        "report (gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -444,7 +444,7 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ Zipf-ish popularity as ``bench_serving.py``):
 Client threads share the server's process, so figures include client-side
 JSON/GIL overhead — a deliberately conservative setup that still shows
 the serving win; absolute numbers are runner-specific, which is why the
-CI diff (``--ci --baseline ...``) compares only ratios, warn-only.
+CI diff (``--ci --baseline ...``) compares only ratios, gating.
 
 ``python benchmarks/bench_http_serving.py`` writes
 ``BENCH_http_serving.json``.
@@ -244,18 +244,18 @@ def measure_http_serving(
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn (exit 0 always) when the fresh HTTP speedup or the snapshot
+    """Gating diff: nonzero when the fresh HTTP speedup or the snapshot
     cold-start speedup regresses past ``tolerance`` times the committed
-    baseline.  Ratios only — absolute times differ by runner — and only
-    when graph and workload shapes match."""
+    baseline, or HTTP results disagree with the cold run.  Ratios only —
+    absolute times differ by runner — and only when graph and workload
+    shapes match."""
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
-    notes = []
+    failures = []
     if not fresh_report.get("results_agree", False):
-        print("::warning::http-serving: HTTP results disagree with cold run")
-        notes.append("HTTP results disagree with cold run")
+        failures.append("HTTP results disagree with cold run")
     same_shape = (
         fresh_report.get("graph") == base_report.get("graph")
         and fresh_report.get("workload") == base_report.get("workload")
@@ -265,11 +265,11 @@ def compare_to_baseline(
             "bench_http_serving",
             [],
             tolerance=tolerance,
-            notes=notes
-            + [
+            notes=[
                 "graph/workload shapes differ from baseline — speedups are "
                 "not comparable, skipped"
             ],
+            failures=failures,
         )
     return report_ratio_metrics(
         "bench_http_serving",
@@ -282,7 +282,7 @@ def compare_to_baseline(
             ),
         ],
         tolerance=tolerance,
-        notes=notes,
+        failures=failures,
     )
 
 
@@ -302,7 +302,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph for the warn-only CI smoke diff",
+        help="shrunk graph for the gating CI smoke diff",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -312,7 +312,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff the speedups against this committed "
-        "report (warn-only; never fails the run)",
+        "report (gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -325,7 +325,7 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 if __name__ == "__main__":

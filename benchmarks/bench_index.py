@@ -25,7 +25,7 @@ measures that lookup on the PR 1/2 reference graph G(50k, 400k):
   retained/invalidated counters).
 
 ``python benchmarks/bench_index.py`` writes ``BENCH_index.json``;
-``--ci`` shrinks the graph for the warn-only CI smoke diff against the
+``--ci`` shrinks the graph for the gating CI smoke diff against the
 committed ``BENCH_index_ci_baseline.json``.  The pytest-benchmark
 entries below cover the email stand-in.
 """
@@ -226,14 +226,15 @@ def measure_index(
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn-only diff of index lookup speedup against the committed CI
-    baseline (ratios only, shapes must match); console + step-summary
-    output comes from :mod:`baseline_diff`."""
+    """Gating diff of index lookup speedup against the committed CI
+    baseline (ratios only, shapes must match; any correctness flag going
+    false fails too); console + step-summary output comes from
+    :mod:`baseline_diff`."""
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
-    notes = []
+    failures = []
     for flag, message in (
         ("results_agree", "indexed answers disagree with cold solves"),
         ("roundtrip_agree", "snapshot round-trip changed indexed answers"),
@@ -241,18 +242,17 @@ def compare_to_baseline(
         ("update_results_agree", "post-update answers disagree with cold"),
     ):
         if not fresh_report.get(flag, True):
-            print(f"::warning::index: {message}")
-            notes.append(message)
+            failures.append(message)
     if fresh_report.get("graph") != base_report.get("graph"):
         return report_ratio_metrics(
             "bench_index",
             [],
             tolerance=tolerance,
-            notes=notes
-            + [
+            notes=[
                 "graph shapes differ from baseline — speedups are not "
                 "comparable, skipped"
             ],
+            failures=failures,
         )
     return report_ratio_metrics(
         "bench_index",
@@ -264,7 +264,7 @@ def compare_to_baseline(
             ),
         ],
         tolerance=tolerance,
-        notes=notes,
+        failures=failures,
     )
 
 
@@ -276,7 +276,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph for the warn-only CI smoke diff",
+        help="shrunk graph for the gating CI smoke diff",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -286,7 +286,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff speedups against this committed report "
-        "(warn-only; never fails the run)",
+        "(gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -305,7 +305,7 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 if __name__ == "__main__":

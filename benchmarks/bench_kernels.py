@@ -13,7 +13,7 @@ legs are the same code and every ratio sits at ~1.0 — the JSON records
 ``backend`` so the baseline diff knows which regime it is looking at.
 
 ``python benchmarks/bench_kernels.py`` writes ``BENCH_kernels.json``;
-``--ci`` shrinks the graph for the warn-only regression check.
+``--ci`` shrinks the graph for the gating regression check.
 """
 
 from __future__ import annotations
@@ -169,7 +169,7 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph for the warn-only CI regression check",
+        help="shrunk graph for the gating CI regression check",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -179,7 +179,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff speedups against this committed report "
-        "(warn-only; never fails the run)",
+        "(gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -191,22 +191,23 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn (exit 0 always) when kernel speedups regress past ``tolerance``
-    times the committed baseline.  Ratios are only comparable within one
-    backend regime — a numba run diffed against a numpy baseline (or vice
-    versa) is skipped with a note instead of a spurious warning.
+    """Gating diff: nonzero when kernel speedups regress past ``tolerance``
+    times the committed baseline (or dispatch and fallback disagree).
+    Ratios are only comparable within one backend regime — a numba run
+    diffed against a numpy baseline (or vice versa) is skipped with a note
+    instead of a spurious failure.
     """
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     baseline_report = json.loads(baseline.read_text())
-    metrics, notes = [], []
+    metrics, notes, failures = [], [], []
     fresh_backend = fresh_report.get("backend")
     base_backend = baseline_report.get("backend")
     if fresh_backend != base_backend:
@@ -221,10 +222,7 @@ def compare_to_baseline(
             if reference is None:
                 continue
             if not entry.get("results_agree", False):
-                print(
-                    f"::warning::{name}: dispatch/fallback results disagree"
-                )
-                notes.append(f"{name}: dispatch/fallback results disagree")
+                failures.append(f"{name}: dispatch/fallback results disagree")
             metrics.append(
                 (
                     f"{name} dispatch/numpy speedup",
@@ -233,7 +231,8 @@ def compare_to_baseline(
                 )
             )
     return report_ratio_metrics(
-        "bench_kernels", metrics, tolerance=tolerance, notes=notes
+        "bench_kernels", metrics, tolerance=tolerance, notes=notes,
+        failures=failures,
     )
 
 

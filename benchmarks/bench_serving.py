@@ -21,7 +21,7 @@ guarantee the oracle layer under ``tests/serving`` enforces on small
 graphs.
 
 ``python benchmarks/bench_serving.py`` writes ``BENCH_serving.json``;
-``--ci`` shrinks the graph for the warn-only CI smoke diff against the
+``--ci`` shrinks the graph for the gating CI smoke diff against the
 committed ``BENCH_serving_ci_baseline.json``; ``--workers N`` additionally
 measures the process-pool sharding path (informational — on few-core
 runners worker startup dominates).
@@ -194,18 +194,18 @@ def measure_serving_throughput(
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn (exit 0 always) when the fresh pooled-vs-cold speedup regresses
-    past ``tolerance`` times the committed baseline.  Only the speedup
-    ratio is compared — absolute times differ by runner — and only when
-    the graph and workload shapes match."""
+    """Gating diff: nonzero when the fresh pooled-vs-cold speedup regresses
+    past ``tolerance`` times the committed baseline, or pooled results
+    disagree with the cold run.  Only the speedup ratio is compared —
+    absolute times differ by runner — and only when the graph and workload
+    shapes match."""
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
-    notes = []
+    failures = []
     if not fresh_report.get("results_agree", False):
-        print("::warning::serving: pooled results disagree with cold run")
-        notes.append("pooled results disagree with cold run")
+        failures.append("pooled results disagree with cold run")
     same_shape = (
         fresh_report.get("graph") == base_report.get("graph")
         and fresh_report.get("workload") == base_report.get("workload")
@@ -215,11 +215,11 @@ def compare_to_baseline(
             "bench_serving",
             [],
             tolerance=tolerance,
-            notes=notes
-            + [
+            notes=[
                 "graph/workload shapes differ from baseline — speedups are "
                 "not comparable, skipped"
             ],
+            failures=failures,
         )
     return report_ratio_metrics(
         "bench_serving",
@@ -231,7 +231,7 @@ def compare_to_baseline(
             )
         ],
         tolerance=tolerance,
-        notes=notes,
+        failures=failures,
     )
 
 
@@ -247,7 +247,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph for the warn-only CI smoke diff",
+        help="shrunk graph for the gating CI smoke diff",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -257,7 +257,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff the speedup against this committed "
-        "report (warn-only; never fails the run)",
+        "report (gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -270,7 +270,7 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ and eps=0 Improve configurations) on a G(50k, 400k) random graph, and
 ``sum_naive`` on a smaller companion graph — Algorithm 1 expands *every*
 vertex of every retained community, so the set engine needs hours at 50k;
 the scaled-down instance keeps the old/new comparison honest and
-affordable.  ``--ci`` shrinks everything for the warn-only CI regression
+affordable.  ``--ci`` shrinks everything for the gating CI regression
 diff.  The pytest-benchmark entries below cover the email stand-in.
 """
 
@@ -156,7 +156,7 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graphs for the warn-only CI regression check",
+        help="shrunk graphs for the gating CI regression check",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -166,7 +166,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff speedups against this committed report "
-        "(warn-only; never fails the run)",
+        "(gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -180,31 +180,30 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn (exit 0 always) when fresh speedups regress past ``tolerance``
-    times the committed baseline.  CI calls this after a --ci run; graphs
-    differ from the committed full-size run, so only ratios are compared
-    (and only per solver whose baseline graph shape matches the fresh
-    run's).  Console lines + the step-summary table come from
-    :mod:`baseline_diff`.
+    """Gating diff: nonzero when fresh speedups regress past ``tolerance``
+    times the committed baseline (or the engines disagree).  CI calls this
+    after a --ci run; graphs differ from the committed full-size run, so
+    only ratios are compared (and only per solver whose baseline graph
+    shape matches the fresh run's).  Console lines, the step-summary table
+    and the waiver file come from :mod:`baseline_diff`.
     """
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     baseline_report = json.loads(baseline.read_text())
-    metrics, notes = [], []
+    metrics, notes, failures = [], [], []
     for name, entry in fresh_report.get("solvers", {}).items():
         reference = baseline_report.get("solvers", {}).get(name)
         if reference is None:
             continue
         if not entry.get("results_agree", False):
-            print(f"::warning::{name}: set/csr results disagree in fresh run")
-            notes.append(f"{name}: set/csr results disagree in fresh run")
+            failures.append(f"{name}: set/csr results disagree in fresh run")
         solver_key = name if name in fresh_report.get("graphs", {}) else (
             "tic_improved" if name.startswith("tic_improved") else name
         )
@@ -221,7 +220,8 @@ def compare_to_baseline(
             (f"{name} set/csr speedup", entry["speedup"], reference["speedup"])
         )
     return report_ratio_metrics(
-        "bench_solvers", metrics, tolerance=tolerance, notes=notes
+        "bench_solvers", metrics, tolerance=tolerance, notes=notes,
+        failures=failures,
     )
 
 

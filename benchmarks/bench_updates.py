@@ -16,7 +16,7 @@ repaired core numbers must equal a full re-decomposition
 (``results_agree`` in the report).
 
 ``python benchmarks/bench_updates.py`` writes ``BENCH_updates.json``;
-``--ci`` shrinks the graph for the warn-only CI smoke diff against the
+``--ci`` shrinks the graph for the gating CI smoke diff against the
 committed ``BENCH_updates_ci_baseline.json``.  The pytest-benchmark
 entries below cover the email stand-in.
 """
@@ -231,27 +231,27 @@ def measure_update_speedups(
 def compare_to_baseline(
     fresh: pathlib.Path, baseline: pathlib.Path, tolerance: float = 0.7
 ) -> int:
-    """Warn-only diff of the delta-vs-rebuild speedup against the committed
-    CI baseline (ratios only, shapes must match); console + step-summary
-    output comes from :mod:`baseline_diff`."""
+    """Gating diff of the delta-vs-rebuild speedup against the committed
+    CI baseline (ratios only, shapes must match; a delta/cold answer
+    disagreement fails too); console + step-summary output comes from
+    :mod:`baseline_diff`."""
     from baseline_diff import report_ratio_metrics
 
     fresh_report = json.loads(fresh.read_text())
     base_report = json.loads(baseline.read_text())
-    notes = []
+    failures = []
     if not fresh_report.get("results_agree", False):
-        print("::warning::updates: delta results disagree with cold rebuild")
-        notes.append("delta results disagree with cold rebuild")
+        failures.append("delta results disagree with cold rebuild")
     if fresh_report.get("graph") != base_report.get("graph"):
         return report_ratio_metrics(
             "bench_updates",
             [],
             tolerance=tolerance,
-            notes=notes
-            + [
+            notes=[
                 "graph shapes differ from baseline — speedups are not "
                 "comparable, skipped"
             ],
+            failures=failures,
         )
     return report_ratio_metrics(
         "bench_updates",
@@ -268,7 +268,7 @@ def compare_to_baseline(
             ),
         ],
         tolerance=tolerance,
-        notes=notes,
+        failures=failures,
     )
 
 
@@ -280,7 +280,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--ci", action="store_true",
-        help="shrunk graph for the warn-only CI smoke diff",
+        help="shrunk graph for the gating CI smoke diff",
     )
     parser.add_argument(
         "--output", type=pathlib.Path,
@@ -290,7 +290,7 @@ def main() -> None:
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="after measuring, diff speedups against this committed report "
-        "(warn-only; never fails the run)",
+        "(gating; a regression past tolerance fails the run)",
     )
     args = parser.parse_args()
     if args.ci:
@@ -302,7 +302,7 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
     if args.baseline is not None and args.baseline.exists():
-        compare_to_baseline(args.output, args.baseline)
+        raise SystemExit(compare_to_baseline(args.output, args.baseline))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+"""Injectable clocks for the timing harness.
+
+Every timing path in :mod:`repro.bench` — :func:`repro.bench.runner.time_call`,
+the sweep runner, and the experiment-grid executor — takes an optional
+``clock`` callable returning monotonic seconds, defaulting to
+:func:`time.perf_counter`.  Tests inject a :class:`ManualClock` so timing
+*logic* (best-of-N selection, noise bands, sweep bookkeeping) is pinned
+deterministically without a single real ``sleep``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+Clock = Callable[[], float]
+
+__all__ = ["Clock", "ManualClock", "perf_clock"]
+
+#: The production clock: monotonic, high resolution.
+perf_clock: Clock = time.perf_counter
+
+
+class ManualClock:
+    """A deterministic fake clock.
+
+    Each call returns the current reading; between a (start, stop) pair the
+    clock advances by the next scripted duration from ``durations`` (cycled
+    forever), so ``time_call`` observes exactly the scripted seconds.  An
+    explicit :meth:`advance` models work that happens outside a timed
+    region.
+    """
+
+    def __init__(self, durations: Iterable[float] = (1.0,), start: float = 0.0):
+        self._durations = list(durations)
+        if not self._durations:
+            raise ValueError("ManualClock needs at least one duration")
+        self._index = 0
+        self._now = float(start)
+        self._pending = False
+
+    def __call__(self) -> float:
+        if self._pending:
+            # Second read of a (start, stop) pair: advance by the next
+            # scripted duration so the pair brackets exactly that many
+            # seconds.
+            self._now += self._durations[self._index % len(self._durations)]
+            self._index += 1
+            self._pending = False
+        else:
+            self._pending = True
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward outside a timed region."""
+        self._now += float(seconds)
+
+    @property
+    def now(self) -> float:
+        return self._now

@@ -1,0 +1,387 @@
+"""The declarative experiment grid: Section VI's evaluation as data.
+
+The paper evaluates over a parameter grid (dataset × k × r × aggregator ×
+ε); this repo's performance claims add three more axes — graph backend,
+worker count, and *serving tier* (cold solver call, pooled
+:class:`~repro.serving.service.QueryService`, precomputed index).  A
+:class:`GridSpec` names one such grid declaratively; :func:`run_grid`
+executes every cell best-of-N and appends the outcome to a
+:class:`~repro.bench.history.HistoryDB`, keyed by
+``(commit, config_hash, cell)`` with a done / error / skipped status per
+cell — errors are recorded, never raised, so one broken cell cannot hide
+the rest of the sweep.
+
+Each done cell also records a digest of the *answer* it measured: cells
+that differ only in engine axes (tier, backend, workers) must agree, and
+the comparator (:func:`repro.bench.compare.compare_grid_runs`) fails the
+run when they do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Mapping
+
+from repro.bench.clock import Clock
+from repro.bench.history import CellRecord, HistoryDB
+from repro.bench.runner import time_call
+
+__all__ = [
+    "GRIDS",
+    "GridCell",
+    "GridSpec",
+    "grid_spec",
+    "run_grid",
+]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One declarative grid.  Frozen: its JSON is the config hash."""
+
+    name: str
+    graphs: tuple[tuple[int, int], ...]  # (n, m) G(n, m) random graphs
+    ks: tuple[int, ...]
+    rs: tuple[int, ...]
+    aggregators: tuple[str, ...]
+    backends: tuple[str, ...]
+    workers: tuple[int, ...]
+    tiers: tuple[str, ...]  # "cold" | "service" | "index"
+    eps: float = 0.1
+    seed: int = 7
+    repeats: int = 3
+    index_depth: int = 32
+
+    def config_hash(self) -> str:
+        """Fingerprint of the grid definition (not of any measurement)."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def cells(self) -> list["GridCell"]:
+        """Every cell, in deterministic enumeration order."""
+        out = []
+        for (n, m), k, r, f, backend, workers, tier in itertools.product(
+            self.graphs,
+            self.ks,
+            self.rs,
+            self.aggregators,
+            self.backends,
+            self.workers,
+            self.tiers,
+        ):
+            out.append(
+                GridCell(
+                    n=n, m=m, k=k, r=r, aggregator=f, backend=backend,
+                    workers=workers, tier=tier, eps=self.eps,
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid point; ``cell_id`` is its stable history key."""
+
+    n: int
+    m: int
+    k: int
+    r: int
+    aggregator: str
+    backend: str
+    workers: int
+    tier: str
+    eps: float
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"g{self.n}x{self.m}/k{self.k}/r{self.r}/f={self.aggregator}"
+            f"/b={self.backend}/w{self.workers}/{self.tier}"
+        )
+
+    @property
+    def axes(self) -> dict[str, object]:
+        return {
+            "graph": f"g{self.n}x{self.m}",
+            "k": self.k,
+            "r": self.r,
+            "f": self.aggregator,
+            "backend": self.backend,
+            "workers": self.workers,
+            "tier": self.tier,
+            "eps": self.eps,
+        }
+
+    def skip_reason(self) -> "str | None":
+        """Why this cell is inapplicable (``None`` = runnable).
+
+        The workers axis shards batches through the service tier only,
+        and the precomputed index serves the sum aggregator — other
+        combinations are recorded as ``skipped`` so the grid's shape
+        stays visible in history.
+        """
+        if self.workers > 0 and self.tier != "service":
+            return "workers axis applies to the service tier only"
+        if self.tier == "index" and self.aggregator != "sum":
+            return "index tier serves the sum aggregator only"
+        return None
+
+
+# ----------------------------------------------------------------------
+# Named grids
+# ----------------------------------------------------------------------
+#: ``smoke`` exercises the machinery in seconds (CLI tests, local sanity);
+#: ``ci`` is the gating PR-sized grid (small graph, both backends — the
+#: cross-backend digest check rides on it); ``full`` is the nightly sweep.
+#: The aggregator axis pairs ``sum`` (the headline expansion solvers +
+#: index) with ``min`` (the minmax solver family); ``avg`` is excluded
+#: from timed grids on purpose — its local-search solver runs minutes per
+#: cell even on tiny graphs, which belongs in the paper-figure harness
+#: (``repro bench --exp fig7``), not a gating sweep.
+GRIDS: dict[str, GridSpec] = {
+    "smoke": GridSpec(
+        name="smoke",
+        graphs=((200, 800),),
+        ks=(3,),
+        rs=(3,),
+        aggregators=("sum",),
+        backends=("csr",),
+        workers=(0,),
+        tiers=("cold", "service"),
+        repeats=2,
+    ),
+    "ci": GridSpec(
+        name="ci",
+        graphs=((1_000, 8_000),),
+        ks=(4, 8),
+        rs=(5,),
+        aggregators=("sum", "min"),
+        backends=("csr", "set"),
+        workers=(0,),
+        tiers=("cold", "service", "index"),
+    ),
+    "full": GridSpec(
+        name="full",
+        graphs=((8_000, 64_000), (50_000, 400_000)),
+        ks=(4, 8, 16),
+        rs=(5, 20),
+        aggregators=("sum", "min"),
+        backends=("csr",),
+        workers=(0, 2),
+        tiers=("cold", "service", "index"),
+    ),
+}
+
+
+def grid_spec(name: str, repeats: "int | None" = None) -> GridSpec:
+    """Look up a named grid, optionally overriding the repeat count."""
+    if name not in GRIDS:
+        known = ", ".join(sorted(GRIDS))
+        raise ValueError(f"unknown grid {name!r}; expected one of: {known}")
+    spec = GRIDS[name]
+    if repeats is not None:
+        spec = replace(spec, repeats=repeats)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one executed cell measured."""
+
+    run_seconds: tuple[float, ...]
+    result_digest: "str | None" = None
+
+
+class CellExecutor:
+    """Default cell runner: real graphs, real solvers, real services.
+
+    Graphs and services are cached across cells — one
+    :class:`~repro.serving.service.QueryService` per (graph, backend),
+    built outside any timed region, exactly like a warm deployment.
+    """
+
+    def __init__(self, spec: GridSpec, clock: "Clock | None" = None) -> None:
+        self._spec = spec
+        self._clock = clock
+        self._graphs: dict[tuple[int, int], object] = {}
+        self._services: dict[tuple[int, int, str], object] = {}
+        self._indexed: dict[tuple[int, int, str], object] = {}
+
+    def _graph(self, n: int, m: int):
+        key = (n, m)
+        if key not in self._graphs:
+            from repro.graphs.generators.random_graphs import gnm_random_graph
+            from repro.utils.rng import make_rng
+
+            graph = gnm_random_graph(n, m, seed=self._spec.seed)
+            rng = make_rng(self._spec.seed + 1)
+            graph = graph.with_weights(rng.uniform(0.0, 100.0, graph.n))
+            graph.csr  # noqa: B018 — flatten once, outside every timing
+            self._graphs[key] = graph
+        return self._graphs[key]
+
+    def _service(self, n: int, m: int, backend: str):
+        key = (n, m, backend)
+        if key not in self._services:
+            from repro.serving.service import QueryService
+
+            self._services[key] = QueryService(
+                self._graph(n, m), backend=backend
+            )
+        return self._services[key]
+
+    def _indexed_service(self, n: int, m: int, backend: str):
+        key = (n, m, backend)
+        if key not in self._indexed:
+            from repro.serving.service import QueryService
+
+            service = QueryService(self._graph(n, m), backend=backend)
+            service.enable_index(depth=self._spec.index_depth)
+            self._indexed[key] = service
+        return self._indexed[key]
+
+    def __call__(self, cell: GridCell) -> CellOutcome:
+        if cell.tier == "cold":
+            return self._run_cold(cell)
+        if cell.tier in ("service", "index"):
+            return self._run_served(cell)
+        raise ValueError(f"unknown serving tier {cell.tier!r}")
+
+    def _run_cold(self, cell: GridCell) -> CellOutcome:
+        from repro.influential.api import top_r_communities
+
+        graph = self._graph(cell.n, cell.m)
+        times, result = [], None
+        for __ in range(self._spec.repeats):
+            seconds, result = time_call(
+                lambda: top_r_communities(
+                    graph, cell.k, cell.r, f=cell.aggregator,
+                    eps=cell.eps, backend=cell.backend,
+                ),
+                clock=self._clock,
+            )
+            times.append(seconds)
+        return CellOutcome(tuple(times), _digest(result))
+
+    def _run_served(self, cell: GridCell) -> CellOutcome:
+        from repro.serving.query import InfluentialQuery
+
+        if cell.tier == "index":
+            service = self._indexed_service(cell.n, cell.m, cell.backend)
+        else:
+            service = self._service(cell.n, cell.m, cell.backend)
+        query = InfluentialQuery(
+            k=cell.k, r=cell.r, f=cell.aggregator, eps=cell.eps
+        )
+        if cell.workers > 0:
+            # Sharded batches need distinct queries to spread: an r-sweep
+            # around the cell's query is the smallest honest workload.
+            batch = [
+                InfluentialQuery(
+                    k=cell.k, r=rank, f=cell.aggregator, eps=cell.eps
+                )
+                for rank in range(1, 2 * cell.workers + 1)
+            ]
+            def solve():
+                return service.submit_many(batch, workers=cell.workers)
+        else:
+            def solve():
+                return service.submit(query)
+        solve()  # warm the engine pool / index outside every timed repeat
+        times, result = [], None
+        for __ in range(self._spec.repeats):
+            # Invalidate the result cache each repeat so the measurement is
+            # the pool-warm serving path, not a dict hit.
+            service.invalidate()
+            seconds, returned = time_call(solve, clock=self._clock)
+            times.append(seconds)
+            result = returned
+        if cell.workers > 0:
+            answer = service.submit(query)  # digest the cell's own query
+        else:
+            answer = result
+        return CellOutcome(tuple(times), _digest(answer))
+
+
+def _digest(result) -> "str | None":
+    """A canonical fingerprint of one answer (value + member sets)."""
+    if result is None:
+        return None
+    payload = [
+        [round(float(value), 9), sorted(members)]
+        for value, members in zip(result.values(), result.vertex_sets())
+    ]
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def run_grid(
+    spec: GridSpec,
+    db: "HistoryDB | str",
+    commit: str,
+    started_at: str,
+    runner: "Callable[[GridCell], CellOutcome] | None" = None,
+    clock: "Clock | None" = None,
+    meta: "Mapping[str, object] | None" = None,
+    log: "Callable[[str], None] | None" = None,
+) -> int:
+    """Execute every cell of ``spec`` and append one run to ``db``.
+
+    ``runner`` is injectable (tests pin the timing bookkeeping with a
+    fake); the default :class:`CellExecutor` measures real solves with
+    ``clock`` threaded into every :func:`~repro.bench.runner.time_call`.
+    Returns the recorded run id.
+    """
+    owns = not isinstance(db, HistoryDB)
+    history = db if isinstance(db, HistoryDB) else HistoryDB(db)
+    execute = runner if runner is not None else CellExecutor(spec, clock)
+    records = []
+    for cell in spec.cells():
+        reason = cell.skip_reason()
+        if reason is not None:
+            records.append(
+                CellRecord(
+                    cell_id=cell.cell_id, axes=cell.axes, status="skipped",
+                    error=reason,
+                )
+            )
+            continue
+        if log is not None:
+            log(f"grid[{spec.name}] {cell.cell_id} ...")
+        try:
+            outcome = execute(cell)
+        except Exception as exc:  # recorded, never raised: see module doc
+            records.append(
+                CellRecord(
+                    cell_id=cell.cell_id, axes=cell.axes, status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        records.append(
+            CellRecord(
+                cell_id=cell.cell_id,
+                axes=cell.axes,
+                status="done",
+                best_seconds=min(outcome.run_seconds),
+                run_seconds=outcome.run_seconds,
+                result_digest=outcome.result_digest,
+            )
+        )
+    try:
+        return history.record_run(
+            grid_name=spec.name,
+            config_hash=spec.config_hash(),
+            commit_sha=commit,
+            started_at=started_at,
+            cells=records,
+            meta=meta,
+        )
+    finally:
+        if owns:
+            history.close()

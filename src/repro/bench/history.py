@@ -1,0 +1,242 @@
+"""Sqlite-backed history of experiment-grid runs.
+
+One database holds every recorded run of every grid.  A *run* is one
+execution of a :class:`~repro.bench.grid.GridSpec` at one commit; a *cell*
+is one point of that grid with its per-repeat timings and a done / error /
+skipped status.  Rows are keyed by ``(commit, config_hash, cell_id)``:
+``config_hash`` fingerprints the grid definition itself, so runs of
+different grid shapes never get compared to each other.
+
+The schema is append-only on purpose — regressions are judged against
+*stored history*, so overwriting old rows would erase the evidence.  The
+file format is plain sqlite3 (stdlib), safe to commit as a CI baseline or
+upload as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["CellRecord", "HistoryDB", "RunRecord"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    grid_name   TEXT NOT NULL,
+    config_hash TEXT NOT NULL,
+    commit_sha  TEXT NOT NULL,
+    started_at  TEXT NOT NULL,
+    meta_json   TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS cells (
+    run_id       INTEGER NOT NULL REFERENCES runs(run_id),
+    cell_id      TEXT NOT NULL,
+    axes_json    TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    best_seconds REAL,
+    runs_json    TEXT NOT NULL DEFAULT '[]',
+    result_digest TEXT,
+    error        TEXT,
+    PRIMARY KEY (run_id, cell_id)
+);
+CREATE INDEX IF NOT EXISTS idx_runs_key
+    ON runs (grid_name, config_hash, commit_sha);
+"""
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One grid cell's outcome inside one run."""
+
+    cell_id: str
+    axes: Mapping[str, object]
+    status: str  # "done" | "error" | "skipped"
+    best_seconds: float | None = None
+    run_seconds: Sequence[float] = ()
+    result_digest: str | None = None
+    error: str | None = None
+
+    @property
+    def noise(self) -> float:
+        """Relative best-of-N spread: (median - best) / best.
+
+        Zero when fewer than two repeats were recorded (no spread to
+        estimate) or the best time is zero.
+        """
+        times = sorted(float(t) for t in self.run_seconds)
+        if len(times) < 2 or times[0] <= 0.0:
+            return 0.0
+        median = times[len(times) // 2]
+        return (median - times[0]) / times[0]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One recorded grid execution (without its cells)."""
+
+    run_id: int
+    grid_name: str
+    config_hash: str
+    commit_sha: str
+    started_at: str
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+
+class HistoryDB:
+    """The grid results store.  Open with a path; ``close()`` when done."""
+
+    def __init__(self, path: "str | pathlib.Path") -> None:
+        self.path = pathlib.Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HistoryDB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        grid_name: str,
+        config_hash: str,
+        commit_sha: str,
+        started_at: str,
+        cells: Iterable[CellRecord],
+        meta: "Mapping[str, object] | None" = None,
+    ) -> int:
+        """Store one run and its cells atomically; returns the run id."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (grid_name, config_hash, commit_sha, "
+                "started_at, meta_json) VALUES (?, ?, ?, ?, ?)",
+                (
+                    grid_name,
+                    config_hash,
+                    commit_sha,
+                    started_at,
+                    json.dumps(dict(meta or {}), sort_keys=True),
+                ),
+            )
+            run_id = int(cursor.lastrowid)
+            self._conn.executemany(
+                "INSERT INTO cells (run_id, cell_id, axes_json, status, "
+                "best_seconds, runs_json, result_digest, error) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        cell.cell_id,
+                        json.dumps(dict(cell.axes), sort_keys=True),
+                        cell.status,
+                        cell.best_seconds,
+                        json.dumps([float(t) for t in cell.run_seconds]),
+                        cell.result_digest,
+                        cell.error,
+                    )
+                    for cell in cells
+                ],
+            )
+        return run_id
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _run_from_row(self, row: Sequence[object]) -> RunRecord:
+        return RunRecord(
+            run_id=int(row[0]),
+            grid_name=str(row[1]),
+            config_hash=str(row[2]),
+            commit_sha=str(row[3]),
+            started_at=str(row[4]),
+            meta=json.loads(str(row[5])),
+        )
+
+    def runs(self, grid_name: "str | None" = None) -> list[RunRecord]:
+        """Every recorded run, oldest first (optionally one grid only)."""
+        query = (
+            "SELECT run_id, grid_name, config_hash, commit_sha, started_at, "
+            "meta_json FROM runs"
+        )
+        params: tuple[object, ...] = ()
+        if grid_name is not None:
+            query += " WHERE grid_name = ?"
+            params = (grid_name,)
+        query += " ORDER BY run_id"
+        return [
+            self._run_from_row(row)
+            for row in self._conn.execute(query, params).fetchall()
+        ]
+
+    def latest_run(
+        self,
+        grid_name: "str | None" = None,
+        config_hash: "str | None" = None,
+        exclude_commit: "str | None" = None,
+    ) -> "RunRecord | None":
+        """The most recent run matching the filters, or ``None``.
+
+        ``exclude_commit`` lets the comparator pick a *baseline* run out
+        of the same database the fresh run was just recorded into.
+        """
+        query = (
+            "SELECT run_id, grid_name, config_hash, commit_sha, started_at, "
+            "meta_json FROM runs WHERE 1=1"
+        )
+        params: list[object] = []
+        if grid_name is not None:
+            query += " AND grid_name = ?"
+            params.append(grid_name)
+        if config_hash is not None:
+            query += " AND config_hash = ?"
+            params.append(config_hash)
+        if exclude_commit is not None:
+            query += " AND commit_sha != ?"
+            params.append(exclude_commit)
+        query += " ORDER BY run_id DESC LIMIT 1"
+        row = self._conn.execute(query, params).fetchone()
+        return None if row is None else self._run_from_row(row)
+
+    def run_cells(self, run_id: int) -> dict[str, CellRecord]:
+        """All cells of one run, keyed by cell id (insertion-ordered)."""
+        rows = self._conn.execute(
+            "SELECT cell_id, axes_json, status, best_seconds, runs_json, "
+            "result_digest, error FROM cells WHERE run_id = ? "
+            "ORDER BY rowid",
+            (run_id,),
+        ).fetchall()
+        cells: dict[str, CellRecord] = {}
+        for row in rows:
+            record = CellRecord(
+                cell_id=str(row[0]),
+                axes=json.loads(str(row[1])),
+                status=str(row[2]),
+                best_seconds=None if row[3] is None else float(row[3]),
+                run_seconds=tuple(json.loads(str(row[4]))),
+                result_digest=None if row[5] is None else str(row[5]),
+                error=None if row[6] is None else str(row[6]),
+            )
+            cells[record.cell_id] = record
+        return cells
+
+    def cell_history(
+        self, cell_id: str, grid_name: str
+    ) -> list[tuple[RunRecord, CellRecord]]:
+        """Every recording of one cell across runs, oldest first."""
+        out = []
+        for run in self.runs(grid_name):
+            cell = self.run_cells(run.run_id).get(cell_id)
+            if cell is not None:
+                out.append((run, cell))
+        return out

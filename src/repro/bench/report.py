@@ -1,0 +1,134 @@
+"""Markdown rendering for comparator verdicts and grid history.
+
+Two consumers share these renderers: the CI step summary (every gating
+baseline diff and the grid compare step append their table to
+``$GITHUB_STEP_SUMMARY``) and the ``repro bench grid report`` command.
+The output is deliberately byte-stable — floats are rounded then
+``%g``-formatted, rows are emitted in sorted/recorded order, and nothing
+depends on dict iteration of external data — so the golden tests can pin
+it across Python versions.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.bench.compare import ComparisonReport, MetricVerdict
+from repro.bench.history import HistoryDB
+
+__all__ = [
+    "append_step_summary",
+    "render_comparison",
+    "render_history",
+]
+
+_STATUS_BADGES = {
+    "ok": "✅ ok",
+    "regressed": "❌ regressed",
+    "waived": "🟡 waived",
+    "skipped": "⏭️ skipped",
+}
+
+
+def _num(value: "float | None") -> str:
+    if value is None:
+        return "-"
+    return f"{round(float(value), 4):g}"
+
+
+def _metric_row(metric: MetricVerdict) -> str:
+    badge = _STATUS_BADGES.get(metric.status, metric.status)
+    cells = [
+        metric.metric,
+        _num(metric.fresh),
+        _num(metric.baseline),
+        _num(metric.threshold),
+        badge + (f" — {metric.detail}" if metric.detail else ""),
+    ]
+    return "| " + " | ".join(cells) + " |"
+
+
+def render_comparison(report: ComparisonReport) -> str:
+    """The verdict block CI appends to the step summary."""
+    verdict_badge = "✅ PASS" if report.verdict == "PASS" else "❌ FAIL"
+    lines = [f"### `{report.bench}` vs baseline — {verdict_badge}", ""]
+    for key, value in report.context.items():
+        lines.append(f"- {key}: `{value}`")
+    if report.context:
+        lines.append("")
+    if report.metrics:
+        lines += [
+            f"| metric | fresh | baseline | threshold "
+            f"(tol {report.tolerance:.0%} + noise band) | status |",
+            "|---|---:|---:|---:|:---|",
+        ]
+        lines += [_metric_row(metric) for metric in report.metrics]
+    else:
+        lines.append("*(no comparable metrics)*")
+    for note in report.notes:
+        lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_history(
+    db: HistoryDB,
+    grid_name: "str | None" = None,
+    limit: int = 10,
+) -> str:
+    """A human-readable tour of the stored grid history.
+
+    Newest ``limit`` runs in a summary table, then the newest run's full
+    per-cell breakdown (status, best-of-N seconds, spread, digest).
+    """
+    runs = db.runs(grid_name)
+    lines = ["## Experiment-grid history", ""]
+    if not runs:
+        lines += ["*(no runs recorded)*", ""]
+        return "\n".join(lines)
+    recent = runs[-limit:]
+    lines += [
+        f"{len(runs)} run(s) recorded; showing the newest {len(recent)}.",
+        "",
+        "| run | grid | commit | config | recorded | done | error | skipped |",
+        "|---:|---|---|---|---|---:|---:|---:|",
+    ]
+    for run in recent:
+        cells = db.run_cells(run.run_id).values()
+        counts = {"done": 0, "error": 0, "skipped": 0}
+        for cell in cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        lines.append(
+            f"| {run.run_id} | {run.grid_name} | `{run.commit_sha[:12]}` "
+            f"| `{run.config_hash[:12]}` | {run.started_at} "
+            f"| {counts['done']} | {counts['error']} | {counts['skipped']} |"
+        )
+    newest = recent[-1]
+    lines += [
+        "",
+        f"### Newest run {newest.run_id} "
+        f"(`{newest.commit_sha[:12]}`, {newest.started_at})",
+        "",
+        "| cell | status | best s | repeats | noise | digest |",
+        "|---|:---|---:|---:|---:|---|",
+    ]
+    for cell in db.run_cells(newest.run_id).values():
+        digest = "-" if cell.result_digest is None else cell.result_digest[:10]
+        detail = cell.error if cell.status == "error" else ""
+        status = cell.status + (f" — {detail}" if detail else "")
+        lines.append(
+            f"| {cell.cell_id} | {status} | {_num(cell.best_seconds)} "
+            f"| {len(cell.run_seconds)} | {_num(cell.noise)} | `{digest}` |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def append_step_summary(text: str) -> None:
+    """Append to ``$GITHUB_STEP_SUMMARY`` when Actions provides one."""
+    raw = os.environ.get("GITHUB_STEP_SUMMARY", "").strip()
+    if not raw:
+        return
+    with open(pathlib.Path(raw), "a", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")

@@ -9,19 +9,27 @@ instead of time).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.bench.clock import Clock, perf_clock
 from repro.utils.charts import ascii_chart
 from repro.utils.tables import format_markdown_table, format_table
 
 
-def time_call(fn: Callable[[], object]) -> tuple[float, object]:
-    """Run ``fn`` once, returning (wall seconds, result)."""
-    start = time.perf_counter()
+def time_call(
+    fn: Callable[[], object], clock: "Clock | None" = None
+) -> tuple[float, object]:
+    """Run ``fn`` once, returning (wall seconds, result).
+
+    ``clock`` is injectable (see :mod:`repro.bench.clock`) so tests pin
+    timing logic deterministically; the default is the real
+    ``time.perf_counter``.
+    """
+    clock = clock if clock is not None else perf_clock
+    start = clock()
     result = fn()
-    return time.perf_counter() - start, result
+    return clock() - start, result
 
 
 @dataclass
@@ -92,6 +100,7 @@ def run_sweep(
     unit: str = "seconds",
     measure: str = "time",
     skip: Callable[[str, object], bool] | None = None,
+    clock: "Clock | None" = None,
 ) -> SweepResult:
     """Execute a (parameter x algorithm) grid.
 
@@ -99,6 +108,7 @@ def run_sweep(
     With ``measure="time"`` the series record wall seconds; with
     ``measure="value"`` the callable's float return value is recorded (the
     Exp-VII quality metric).  ``skip(name, x)`` marks points to omit.
+    ``clock`` threads through to :func:`time_call` for deterministic tests.
     """
     result = SweepResult(title, axis_name, list(axis_values), unit=unit)
     for x in axis_values:
@@ -106,7 +116,7 @@ def run_sweep(
             if skip is not None and skip(name, x):
                 result.add_point(name, None)
                 continue
-            seconds, returned = time_call(lambda: fn(x))
+            seconds, returned = time_call(lambda: fn(x), clock=clock)
             if measure == "time":
                 result.add_point(name, round(seconds, 6))
             else:

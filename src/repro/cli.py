@@ -312,7 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the stand-in datasets with statistics")
 
-    bench = sub.add_parser("bench", help="run paper experiments")
+    bench = sub.add_parser(
+        "bench", help="run paper experiments / the regression grid"
+    )
     bench.add_argument(
         "--exp",
         default="all",
@@ -324,6 +326,84 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true",
         help="smaller sweeps for smoke-testing the harness",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+
+    grid = bench_sub.add_parser(
+        "grid",
+        help="the experiment-grid regression harness (sqlite history)",
+    )
+    grid_sub = grid.add_subparsers(dest="grid_command", required=True)
+
+    grid_run = grid_sub.add_parser(
+        "run", help="execute a named grid and append the run to history"
+    )
+    grid_run.add_argument(
+        "--grid", default="ci", help="grid name: smoke|ci|full"
+    )
+    grid_run.add_argument(
+        "--db", default="grid_history.sqlite",
+        help="sqlite history database (created if missing)",
+    )
+    grid_run.add_argument(
+        "--commit", default=None,
+        help="commit sha to key the run by (default: $GITHUB_SHA, then "
+        "`git rev-parse HEAD`, then 'unknown')",
+    )
+    grid_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="override the grid's best-of-N repeat count",
+    )
+
+    grid_compare = grid_sub.add_parser(
+        "compare",
+        help="judge the newest run against stored history (gating)",
+    )
+    grid_compare.add_argument(
+        "--db", default="grid_history.sqlite", help="fresh history database"
+    )
+    grid_compare.add_argument(
+        "--baseline", default=None,
+        help="baseline history database (default: older runs in --db)",
+    )
+    grid_compare.add_argument(
+        "--grid", default=None, help="restrict to one grid name"
+    )
+    grid_compare.add_argument(
+        "--commit", default=None,
+        help="treat this commit's runs as fresh when the baseline lives "
+        "in the same database",
+    )
+    grid_compare.add_argument(
+        "--tolerance", type=float, default=0.7,
+        help="accepted fraction of the baseline ratio (default 0.7)",
+    )
+    grid_compare.add_argument(
+        "--absolute", action="store_true",
+        help="also gate raw per-cell seconds (same-machine history only)",
+    )
+    grid_compare.add_argument(
+        "--waivers", default=None,
+        help="waiver file (default: benchmarks/waivers.json when present)",
+    )
+    grid_compare.add_argument(
+        "--out", default=None, help="write the Markdown verdict here too"
+    )
+
+    grid_report = grid_sub.add_parser(
+        "report", help="render the stored history as Markdown"
+    )
+    grid_report.add_argument(
+        "--db", default="grid_history.sqlite", help="history database"
+    )
+    grid_report.add_argument(
+        "--grid", default=None, help="restrict to one grid name"
+    )
+    grid_report.add_argument(
+        "--limit", type=int, default=10, help="newest runs to show"
+    )
+    grid_report.add_argument(
+        "--out", default=None, help="write the Markdown report here too"
     )
 
     sub.add_parser("casestudy", help="reproduce the Fig 14 case study")
@@ -875,6 +955,8 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_command", None) == "grid":
+        return _cmd_bench_grid(args)
     from repro.bench.experiments import run_experiments
 
     report = run_experiments(args.exp, quick=args.quick)
@@ -884,6 +966,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             handle.write(report.render_markdown())
         print(f"\nwrote {args.out}")
     return 0
+
+
+def _resolve_commit(explicit: "str | None") -> str:
+    """The commit sha a grid run is keyed by: flag, CI env, git, unknown."""
+    import os
+    import subprocess
+
+    if explicit:
+        return explicit
+    from_env = os.environ.get("GITHUB_SHA", "").strip()
+    if from_env:
+        return from_env
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if probe.returncode == 0 and probe.stdout.strip():
+            return probe.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _default_waivers() -> "str | None":
+    import pathlib
+
+    candidate = pathlib.Path("benchmarks") / "waivers.json"
+    return str(candidate) if candidate.exists() else None
+
+
+def _cmd_bench_grid(args: argparse.Namespace) -> int:
+    """``repro bench grid run|compare|report`` — the regression harness."""
+    if args.grid_command == "run":
+        import datetime
+
+        from repro.bench.grid import grid_spec, run_grid
+
+        try:
+            spec = grid_spec(args.grid, repeats=args.repeats)
+        except ValueError as exc:
+            raise ReproError(str(exc))
+        started_at = (
+            datetime.datetime.now(datetime.timezone.utc)
+            .replace(microsecond=0)
+            .isoformat()
+        )
+        run_id = run_grid(
+            spec,
+            args.db,
+            commit=_resolve_commit(args.commit),
+            started_at=started_at,
+            log=print,
+        )
+        cells = len(spec.cells())
+        print(
+            f"recorded run {run_id} of grid '{spec.name}' "
+            f"({cells} cells, config {spec.config_hash()[:12]}) "
+            f"into {args.db}"
+        )
+        return 0
+    if args.grid_command == "compare":
+        from repro.bench.compare import compare_grid_runs, load_waivers
+        from repro.bench.report import append_step_summary, render_comparison
+
+        waivers_path = (
+            args.waivers if args.waivers is not None else _default_waivers()
+        )
+        report = compare_grid_runs(
+            args.db,
+            baseline=args.baseline,
+            grid_name=args.grid,
+            commit=args.commit,
+            tolerance=args.tolerance,
+            absolute=args.absolute,
+            waivers=load_waivers(waivers_path),
+        )
+        rendered = render_comparison(report)
+        print(rendered)
+        append_step_summary(rendered)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        return report.exit_code
+    if args.grid_command == "report":
+        from repro.bench.history import HistoryDB
+        from repro.bench.report import render_history
+
+        with HistoryDB(args.db) as db:
+            rendered = render_history(db, grid_name=args.grid, limit=args.limit)
+        print(rendered)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        return 0
+    raise ReproError(f"unknown grid command {args.grid_command!r}")
 
 
 def _cmd_casestudy(args: argparse.Namespace) -> int:

@@ -1,0 +1,80 @@
+"""Every committed benchmark report validates against the shared schema.
+
+The gating baseline diffs key on a small envelope — ``benchmark``,
+``graph``/``graphs`` shape, ``speedup``, ``results_agree`` — that
+``benchmarks/bench_report.schema.json`` pins.  This test walks every
+committed ``BENCH_*.json`` (and asserts each CI baseline has a live twin),
+so an emitter drifting away from the envelope breaks here, not in a
+confusing diff-step failure.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCHEMA_PATH = REPO / "benchmarks" / "bench_report.schema.json"
+REPORTS = sorted(REPO.glob("BENCH_*.json"))
+
+
+@pytest.fixture(scope="module")
+def validator():
+    schema = json.loads(SCHEMA_PATH.read_text())
+    cls = jsonschema.validators.validator_for(schema)
+    cls.check_schema(schema)
+    return cls(schema)
+
+
+def test_reports_exist():
+    assert REPORTS, "no committed BENCH_*.json reports found"
+    assert any(p.name.endswith("_ci_baseline.json") for p in REPORTS)
+
+
+@pytest.mark.parametrize("path", REPORTS, ids=lambda p: p.name)
+def test_report_validates(path, validator):
+    report = json.loads(path.read_text())
+    errors = sorted(validator.iter_errors(report), key=str)
+    assert not errors, "\n".join(
+        f"{path.name}: {e.json_path}: {e.message}" for e in errors
+    )
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in REPORTS if p.name.endswith("_ci_baseline.json")],
+    ids=lambda p: p.name,
+)
+def test_ci_baseline_has_live_twin(path):
+    twin = path.with_name(path.name.replace("_ci_baseline", ""))
+    assert twin.exists(), f"{path.name} has no matching {twin.name}"
+    base = json.loads(path.read_text())
+    live = json.loads(twin.read_text())
+    assert base["benchmark"] == live["benchmark"]
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in REPORTS if p.name.endswith("_ci_baseline.json")],
+    ids=lambda p: p.name,
+)
+def test_ci_baselines_assert_correctness(path):
+    # A committed baseline recorded with a correctness failure would make
+    # the gating diff compare against broken numbers.
+    report = json.loads(path.read_text())
+    if "results_agree" in report:
+        assert report["results_agree"] is True
+
+
+def test_waiver_file_parses():
+    from repro.bench.compare import load_waivers
+
+    waivers = load_waivers(REPO / "benchmarks" / "waivers.json")
+    assert isinstance(waivers, tuple)
+
+
+def test_schema_is_itself_valid_json_schema():
+    schema = json.loads(SCHEMA_PATH.read_text())
+    jsonschema.validators.validator_for(schema).check_schema(schema)

@@ -1,0 +1,109 @@
+"""Property-based pins on the comparator rule (satellite of the grid
+harness).
+
+Three laws of :func:`repro.bench.compare.compare_value` hold for *every*
+tolerance/band/value combination, not just the cases the unit tests
+enumerate:
+
+* determinism — the verdict is a pure function of its inputs;
+* improvement asymmetry — a fresh value at least as good as its baseline
+  is never flagged, however tight the tolerance;
+* monotonicity — worsening the fresh value can only move the verdict
+  from ok to regressed, never back.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.bench.compare import MAX_NOISE_BAND, compare_value  # noqa: E402
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+tolerances = st.floats(min_value=0.05, max_value=1.0, **finite)
+bands = st.floats(min_value=0.0, max_value=5.0, **finite)
+values = st.floats(min_value=1e-6, max_value=1e6, **finite)
+directions = st.booleans()
+
+
+@given(
+    fresh=values, baseline=values, tolerance=tolerances, band=bands,
+    higher=directions,
+)
+@settings(max_examples=300)
+def test_verdict_is_deterministic(fresh, baseline, tolerance, band, higher):
+    first = compare_value(
+        "m", fresh, baseline, tolerance, band, higher_is_better=higher
+    )
+    second = compare_value(
+        "m", fresh, baseline, tolerance, band, higher_is_better=higher
+    )
+    assert first == second
+    assert first.status in ("ok", "regressed")
+
+
+@given(
+    baseline=values, improvement=st.floats(min_value=0.0, max_value=10.0,
+                                           **finite),
+    tolerance=tolerances, band=bands, higher=directions,
+)
+@settings(max_examples=300)
+def test_improvement_is_never_flagged(
+    baseline, improvement, tolerance, band, higher
+):
+    # "At least as good": >= baseline when higher is better, <= when
+    # lower is better.  Faster runs must never fail the build.
+    if higher:
+        fresh = baseline * (1.0 + improvement)
+    else:
+        fresh = baseline / (1.0 + improvement)
+    verdict = compare_value(
+        "m", fresh, baseline, tolerance, band, higher_is_better=higher
+    )
+    assert verdict.status == "ok"
+
+
+@given(
+    baseline=values, tolerance=tolerances, band=bands,
+    margins=st.tuples(
+        st.floats(min_value=0.0, max_value=0.999, **finite),
+        st.floats(min_value=0.0, max_value=0.999, **finite),
+    ),
+)
+@settings(max_examples=300)
+def test_verdict_is_monotone_in_regression_margin(
+    baseline, tolerance, band, margins
+):
+    # worse margin = larger fraction of the baseline lost.
+    better, worse = sorted(margins)
+    v_better = compare_value(
+        "m", baseline * (1.0 - better), baseline, tolerance, band
+    )
+    v_worse = compare_value(
+        "m", baseline * (1.0 - worse), baseline, tolerance, band
+    )
+    if v_better.status == "regressed":
+        assert v_worse.status == "regressed"
+
+
+@given(baseline=values, tolerance=tolerances, band=bands)
+@settings(max_examples=300)
+def test_threshold_respects_the_band_cap(baseline, tolerance, band):
+    verdict = compare_value("m", baseline, baseline, tolerance, band)
+    floor = baseline * tolerance / (1.0 + MAX_NOISE_BAND)
+    assert verdict.threshold >= floor - 1e-9 * baseline
+
+
+@given(
+    fresh=values, baseline=values,
+    bad_tolerance=st.one_of(
+        st.floats(max_value=0.0, **finite),
+        st.floats(min_value=1.0 + 1e-9, max_value=100.0, **finite),
+    ),
+)
+@settings(max_examples=100)
+def test_invalid_tolerance_always_raises(fresh, baseline, bad_tolerance):
+    with pytest.raises(ValueError):
+        compare_value("m", fresh, baseline, tolerance=bad_tolerance)

@@ -78,6 +78,76 @@ def test_bench_unknown_exp(capsys):
     assert main(["bench", "--exp", "fig99"]) == 2
 
 
+@pytest.fixture
+def pinned_bench_clock(monkeypatch):
+    """Script the grid executor's clock: real micro-graph timings are too
+    noisy to gate a test on, and the CLI has no --clock flag by design."""
+    import repro.bench.runner as runner_mod
+    from repro.bench.clock import ManualClock
+
+    monkeypatch.setattr(runner_mod, "perf_clock", ManualClock([0.2, 0.05]))
+
+
+def test_bench_grid_run_compare_report(tmp_path, capsys, pinned_bench_clock):
+    db = tmp_path / "history.sqlite"
+    code = main([
+        "bench", "grid", "run", "--grid", "smoke", "--db", str(db),
+        "--commit", "commit-a", "--repeats", "1",
+    ])
+    assert code == 0
+    assert "recorded run 1 of grid 'smoke'" in capsys.readouterr().out
+
+    # First compare bootstraps (no older-commit run to judge against).
+    assert main(["bench", "grid", "compare", "--db", str(db)]) == 0
+    assert "bootstrap" in capsys.readouterr().out
+
+    # A second run at another commit makes the first one the baseline.
+    code = main([
+        "bench", "grid", "run", "--grid", "smoke", "--db", str(db),
+        "--commit", "commit-b", "--repeats", "1",
+    ])
+    assert code == 0
+    capsys.readouterr()
+    out_md = tmp_path / "compare.md"
+    code = main([
+        "bench", "grid", "compare", "--db", str(db), "--out", str(out_md),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "`grid:smoke` vs baseline" in out
+    assert out_md.read_text().startswith("### `grid:smoke`")
+
+    assert main(["bench", "grid", "report", "--db", str(db)]) == 0
+    out = capsys.readouterr().out
+    assert "Experiment-grid history" in out
+    assert "commit-b" in out
+
+
+def test_bench_grid_compare_against_separate_baseline_db(
+    tmp_path, capsys, pinned_bench_clock
+):
+    baseline = tmp_path / "baseline.sqlite"
+    fresh = tmp_path / "fresh.sqlite"
+    for db, commit in ((baseline, "old"), (fresh, "new")):
+        assert main([
+            "bench", "grid", "run", "--grid", "smoke", "--db", str(db),
+            "--commit", commit, "--repeats", "1",
+        ]) == 0
+    capsys.readouterr()
+    code = main([
+        "bench", "grid", "compare", "--db", str(fresh),
+        "--baseline", str(baseline),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "baseline commit: `old`" in out
+
+
+def test_bench_grid_rejects_unknown_grid(capsys):
+    assert main(["bench", "grid", "run", "--grid", "nope"]) == 2
+    assert "unknown grid" in capsys.readouterr().err
+
+
 def test_casestudy(capsys):
     assert main(["casestudy"]) == 0
     out = capsys.readouterr().out
