@@ -84,7 +84,7 @@ def _client_worker(port, jobs, payloads, latencies):
             if job is None:
                 return
             index, query = job
-            body = json.dumps(query.solver_kwargs())
+            body = json.dumps(query.wire_dict())
             start = time.perf_counter()
             connection.request("POST", "/query", body=body)
             response = connection.getresponse()
@@ -258,7 +258,7 @@ def measure_queue_bound(graph, workload, clients) -> dict:
             try:
                 start = time.perf_counter()
                 connection.request(
-                    "POST", "/query", body=json.dumps(query.solver_kwargs())
+                    "POST", "/query", body=json.dumps(query.wire_dict())
                 )
                 response = connection.getresponse()
                 response.read()

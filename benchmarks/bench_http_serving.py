@@ -100,7 +100,7 @@ def test_http_workload_matches_cold_on_email(email):
         connection = http.client.HTTPConnection(host, timeout=120)
         for query in workload:
             connection.request(
-                "POST", "/query", body=json.dumps(query.solver_kwargs())
+                "POST", "/query", body=json.dumps(query.wire_dict())
             )
             response = connection.getresponse()
             payload = json.loads(response.read())
@@ -125,7 +125,7 @@ def _client_worker(
             if job is None:
                 return
             index, query = job
-            body = json.dumps(query.solver_kwargs())
+            body = json.dumps(query.wire_dict())
             start = time.perf_counter()
             connection.request("POST", "/query", body=body)
             response = connection.getresponse()

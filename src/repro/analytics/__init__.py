@@ -1,0 +1,16 @@
+"""Post-query analytics over ranked influential communities.
+
+Pure read-only functions over ``(graph, ResultSet)`` pairs: they never
+touch solver state, so the serving layer can run them against cached
+decompositions (``/v1/analytics/*`` answers the underlying query through
+the warm result cache and single-flight machinery first, then walks the
+communities here).
+"""
+
+from repro.analytics.communities import (
+    community_leaders,
+    community_summary,
+    khop_reach,
+)
+
+__all__ = ["community_leaders", "community_summary", "khop_reach"]

@@ -50,6 +50,10 @@ class GridSpec:
     backends: tuple[str, ...]
     workers: tuple[int, ...]
     tiers: tuple[str, ...]  # "cold" | "service" | "index"
+    #: Label-constraint axis: ``"none"`` or compact predicate specs like
+    #: ``"eq:deg:high"`` / ``"any:deg:mid,deg:high"`` / ``"prefix:deg:"``
+    #: evaluated against the executor's degree-tercile labels.
+    constrained: tuple[str, ...] = ("none",)
     eps: float = 0.1
     seed: int = 7
     repeats: int = 3
@@ -63,19 +67,23 @@ class GridSpec:
     def cells(self) -> list["GridCell"]:
         """Every cell, in deterministic enumeration order."""
         out = []
-        for (n, m), k, r, f, backend, workers, tier in itertools.product(
-            self.graphs,
-            self.ks,
-            self.rs,
-            self.aggregators,
-            self.backends,
-            self.workers,
-            self.tiers,
+        for (n, m), k, r, f, backend, workers, tier, constrained in (
+            itertools.product(
+                self.graphs,
+                self.ks,
+                self.rs,
+                self.aggregators,
+                self.backends,
+                self.workers,
+                self.tiers,
+                self.constrained,
+            )
         ):
             out.append(
                 GridCell(
                     n=n, m=m, k=k, r=r, aggregator=f, backend=backend,
                     workers=workers, tier=tier, eps=self.eps,
+                    constrained=constrained,
                 )
             )
         return out
@@ -94,12 +102,18 @@ class GridCell:
     workers: int
     tier: str
     eps: float
+    constrained: str = "none"
 
     @property
     def cell_id(self) -> str:
+        # The constraint segment appears only when set, so unconstrained
+        # cell ids (the history keys of every pre-axis run) stay stable.
+        constraint = (
+            "" if self.constrained == "none" else f"/c={self.constrained}"
+        )
         return (
             f"g{self.n}x{self.m}/k{self.k}/r{self.r}/f={self.aggregator}"
-            f"/b={self.backend}/w{self.workers}/{self.tier}"
+            f"/b={self.backend}/w{self.workers}{constraint}/{self.tier}"
         )
 
     @property
@@ -113,6 +127,7 @@ class GridCell:
             "workers": self.workers,
             "tier": self.tier,
             "eps": self.eps,
+            "constrained": self.constrained,
         }
 
     def skip_reason(self) -> "str | None":
@@ -127,6 +142,8 @@ class GridCell:
             return "workers axis applies to the service tier only"
         if self.tier == "index" and self.aggregator != "sum":
             return "index tier serves the sum aggregator only"
+        if self.tier == "index" and self.constrained != "none":
+            return "the precomputed index serves unconstrained queries only"
         return None
 
 
@@ -162,6 +179,9 @@ GRIDS: dict[str, GridSpec] = {
         backends=("csr", "set"),
         workers=(0,),
         tiers=("cold", "service", "index"),
+        # The constrained leg gates the label-pushdown path per PR: same
+        # digest across backends and tiers, timed like everything else.
+        constrained=("none", "eq:deg:high"),
     ),
     "full": GridSpec(
         name="full",
@@ -222,6 +242,10 @@ class CellExecutor:
             graph = gnm_random_graph(n, m, seed=self._spec.seed)
             rng = make_rng(self._spec.seed + 1)
             graph = graph.with_weights(rng.uniform(0.0, 100.0, graph.n))
+            if any(value != "none" for value in self._spec.constrained):
+                from repro.graphs.io import degree_quantile_labels
+
+                graph = graph.with_labels(degree_quantile_labels(graph))
             graph.csr  # noqa: B018 — flatten once, outside every timing
             self._graphs[key] = graph
         return self._graphs[key]
@@ -257,12 +281,13 @@ class CellExecutor:
         from repro.influential.api import top_r_communities
 
         graph = self._graph(cell.n, cell.m)
+        labels = _constraint_spec(cell.constrained)
         times, result = [], None
         for __ in range(self._spec.repeats):
             seconds, result = time_call(
                 lambda: top_r_communities(
                     graph, cell.k, cell.r, f=cell.aggregator,
-                    eps=cell.eps, backend=cell.backend,
+                    eps=cell.eps, backend=cell.backend, labels=labels,
                 ),
                 clock=self._clock,
             )
@@ -276,15 +301,19 @@ class CellExecutor:
             service = self._indexed_service(cell.n, cell.m, cell.backend)
         else:
             service = self._service(cell.n, cell.m, cell.backend)
+        predicate = _constraint_spec(cell.constrained)
+        constraints = None if predicate is None else {"labels": predicate}
         query = InfluentialQuery(
-            k=cell.k, r=cell.r, f=cell.aggregator, eps=cell.eps
+            k=cell.k, r=cell.r, f=cell.aggregator, eps=cell.eps,
+            constraints=constraints,
         )
         if cell.workers > 0:
             # Sharded batches need distinct queries to spread: an r-sweep
             # around the cell's query is the smallest honest workload.
             batch = [
                 InfluentialQuery(
-                    k=cell.k, r=rank, f=cell.aggregator, eps=cell.eps
+                    k=cell.k, r=rank, f=cell.aggregator, eps=cell.eps,
+                    constraints=constraints,
                 )
                 for rank in range(1, 2 * cell.workers + 1)
             ]
@@ -307,6 +336,29 @@ class CellExecutor:
         else:
             answer = result
         return CellOutcome(tuple(times), _digest(answer))
+
+
+def _constraint_spec(value: str) -> "dict | None":
+    """Parse one ``constrained`` axis value into a labels-predicate spec.
+
+    ``"none"`` means unconstrained; otherwise the value is
+    ``kind:argument`` where kind is a predicate kind — the argument may
+    itself contain colons (labels like ``deg:high``), and ``any`` takes a
+    comma-separated label list.
+    """
+    if value == "none":
+        return None
+    kind, __, argument = value.partition(":")
+    if kind == "eq":
+        return {"eq": argument}
+    if kind == "prefix":
+        return {"prefix": argument}
+    if kind == "any":
+        return {"any": argument.split(",")}
+    raise ValueError(
+        f"unknown constrained axis value {value!r}; expected 'none' or "
+        f"'eq:LABEL' / 'prefix:PREFIX' / 'any:LABEL,LABEL,...'"
+    )
 
 
 def _digest(result) -> "str | None":

@@ -406,7 +406,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the Markdown report here too"
     )
 
-    sub.add_parser("casestudy", help="reproduce the Fig 14 case study")
+    ingest = sub.add_parser(
+        "ingest",
+        help="load a SNAP edge list, assign synthetic influence weights, "
+        "and write a served-ready snapshot",
+    )
+    ingest.add_argument("edges", help="path to a SNAP-style edge list")
+    ingest.add_argument(
+        "--out", required=True, help="snapshot directory to write"
+    )
+    ingest.add_argument(
+        "--weights",
+        default="degree",
+        choices=("degree", "core", "pagerank", "lognormal", "uniform"),
+        help="synthetic influence model (default: degree)",
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for the random weight modes",
+    )
+    ingest.add_argument(
+        "--labels",
+        default="none",
+        choices=("none", "degree"),
+        help="assign degree-tercile vertex labels (enables constrained "
+        "queries on the snapshot)",
+    )
+
+    casestudy = sub.add_parser(
+        "casestudy", help="reproduce the Fig 14 case study"
+    )
+    casestudy.add_argument(
+        "--edges",
+        default=None,
+        help="run the protocol on this SNAP edge list (structural "
+        "stand-in weights) instead of the synthetic Aminer network",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -632,7 +667,7 @@ def _serve_single(args: argparse.Namespace, service) -> int:
         port = server.sockets[0].getsockname()[1]
         print(
             f"listening on http://{args.host}:{port} — try: "
-            f"curl -s http://{args.host}:{port}/healthz"
+            f"curl -s http://{args.host}:{port}/v1/healthz"
         )
 
     async def _main() -> None:
@@ -701,7 +736,7 @@ def _serve_fleet(args: argparse.Namespace, service) -> int:
         print(
             f"fleet of {fleet.members} ({fleet.mode}) listening on "
             f"{fleet.url} — replication log {args.log} — try: "
-            f"curl -s {fleet.url}/healthz"
+            f"curl -s {fleet.url}/v1/healthz"
         )
         stop.wait()
         print("shutting down fleet...")
@@ -790,7 +825,13 @@ def _cmd_update_edges(args: argparse.Namespace) -> int:
                 body = json.load(response)
         except urllib.error.HTTPError as exc:
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                error = json.loads(exc.read()).get("error", str(exc))
+                # v1 error envelope ({"code", "detail"}); older servers
+                # replied with a bare string.
+                if isinstance(error, dict):
+                    message = error.get("detail", str(error))
+                else:
+                    message = error
             except (json.JSONDecodeError, ValueError):
                 message = str(exc)
             print(f"error: server rejected update: {message}", file=sys.stderr)
@@ -1064,10 +1105,60 @@ def _cmd_bench_grid(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown grid command {args.grid_command!r}")
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.graphs.io import ingest_edge_list
+    from repro.serving.service import QueryService
+    from repro.serving.store import save_snapshot
+
+    graph, id_map = ingest_edge_list(
+        args.edges,
+        weights=args.weights,
+        seed=args.seed,
+        labels=args.labels,
+    )
+    service = QueryService(graph)
+    path = save_snapshot(service, args.out)
+    # Dense id -> source id, so served answers can be mapped back to the
+    # published dataset's vertex names.
+    originals = sorted(id_map, key=id_map.get)
+    with open(
+        pathlib.Path(path) / "original_ids.txt", "w", encoding="utf-8"
+    ) as handle:
+        handle.write("# dense_id original_id\n")
+        for dense, original in enumerate(originals):
+            handle.write(f"{dense} {original}\n")
+    print(
+        json.dumps(
+            {
+                "status": "ingested",
+                "edges": str(args.edges),
+                "out": str(path),
+                "n": graph.n,
+                "m": graph.m,
+                "kmax": service.kmax,
+                "weights": args.weights,
+                "labels": args.labels,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
 def _cmd_casestudy(args: argparse.Namespace) -> int:
     from repro.bench.case_study import render_case_study, run_case_study
 
-    print(render_case_study(run_case_study()))
+    if args.edges:
+        from repro.graphs.io import ingest_edge_list
+
+        graph, __ = ingest_edge_list(args.edges)
+        panels = run_case_study(graph=graph)
+    else:
+        panels = run_case_study()
+    print(render_case_study(panels))
     return 0
 
 
@@ -1088,6 +1179,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "update-edges": _cmd_update_edges,
+        "ingest": _cmd_ingest,
         "snapshot": _cmd_snapshot,
         "index": _cmd_index,
         "datasets": _cmd_datasets,

@@ -302,6 +302,10 @@ class InfluentialIndex:
         """
         if query.cohesion != "core" or query.s is not None:
             return None
+        if query.constraints is not None:
+            # The stored rankings are unconstrained; a label-constrained
+            # answer is a different lattice, served by the solver path.
+            return None
         if query.non_overlapping or query.k < 1 or query.r < 1:
             return None
         if query.method not in INDEXED_METHODS:

@@ -31,10 +31,16 @@ is exact), and ``non_overlapping`` the TONIC variant (Problem 2).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
+
 from repro.aggregators.base import Aggregator
 from repro.errors import SolverError
 from repro.graphs.backend import use_backend
 from repro.graphs.graph import Graph
+from repro.influential.community import Community
+from repro.influential.constraints import LabelPredicate, matching_mask
 from repro.influential.exact import tic_exact
 from repro.influential.improved import tic_improved
 from repro.influential.local_search import local_search
@@ -70,6 +76,7 @@ def top_r_communities(
     rng_seed: int | None = None,
     backend: str = "auto",
     engine_pool=None,
+    labels=None,
 ) -> ResultSet:
     """Find the top-r (non-overlapping) (size-constrained) communities.
 
@@ -100,10 +107,28 @@ def top_r_communities(
     tables); :class:`~repro.serving.service.QueryService` threads one
     through every query it serves.  Pools are pure caches — results are
     byte-identical with or without one.
+
+    ``labels`` optionally constrains the answer to communities whose
+    members *all* match a label predicate (a
+    :class:`~repro.influential.constraints.LabelPredicate`, or any wire
+    shape its ``from_json`` accepts: ``"x"``, ``["a", "b"]``,
+    ``{"eq"|"any"|"prefix": ...}``).  The constrained problem equals the
+    unconstrained one on the induced subgraph of matching vertices —
+    expansion-family solvers prune at the seed-component filter without
+    materialising it; every other route solves on the materialised
+    subgraph and maps ids back.  Requires a labeled graph
+    (:class:`~repro.errors.SpecError` otherwise).
     """
-    spec = ProblemSpec.create(k, r, f, s, non_overlapping)
+    spec = ProblemSpec.create(
+        k, r, f, s, non_overlapping, labels=LabelPredicate.from_json(labels)
+    )
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; expected one of {METHODS}")
+    if spec.label_constrained and graph.labels is None and graph.n > 0:
+        # Fail loudly before the degenerate-query short-circuits: asking a
+        # label-constrained question of an unlabeled graph is a caller
+        # error, not an empty answer.
+        matching_mask(graph, spec.labels)
     if spec.infeasible_for(graph):
         # Empty/singleton graphs and k >= |V|: no community can exist, so
         # every solver's answer is the empty set — return it well-formed
@@ -126,8 +151,14 @@ def top_r_communities(
             and seed_order in (None, "id", "weight", "shuffled")
         ):
             # The pool's cached core decomposition proves no k-core exists;
-            # every auto-dispatch family returns empty on such queries.
+            # every auto-dispatch family (constrained or not — the
+            # constrained k-core is a subset) returns empty on such queries.
             return ResultSet(())
+        if spec.label_constrained:
+            return _dispatch_constrained(
+                graph, spec, method, eps, greedy, seed_order, rng_seed,
+                resolved, engine_pool,
+            )
         return _dispatch(
             graph, spec, method, eps, greedy, seed_order, rng_seed, resolved,
             engine_pool,
@@ -195,6 +226,89 @@ def _dispatch(
 
     return _auto_dispatch(
         graph, spec, eps, greedy, seed_order, rng_seed, backend, engine_pool
+    )
+
+
+def _dispatch_constrained(
+    graph: Graph,
+    spec: ProblemSpec,
+    method: str,
+    eps: float,
+    greedy: bool,
+    seed_order: str | None,
+    rng_seed: int | None,
+    backend: str = "auto",
+    engine_pool=None,
+) -> ResultSet:
+    """Label-constrained dispatch: seed pushdown or induced-subgraph solve.
+
+    The "all members match" semantics makes the constrained query equal
+    to the unconstrained query on ``G[matching]``.  Two routes realise
+    that:
+
+    * **Seed pushdown** (expansion solvers — Algorithms 1/2 and their
+      auto-dispatch use): seed the lattice from the k-core components of
+      ``G[matching]`` on the *original* graph.  Expansion is
+      component-local, so every descendant keeps the invariant; no ids
+      are remapped and the shared engine pool serves structures as for
+      unconstrained traffic.
+    * **Induced-subgraph fallback** (min/max peels, local search, exact,
+      brute force, TONIC): materialise ``G[matching]`` — the remap is
+      monotone, so float-summation order and tie-breaks are preserved —
+      solve unconstrained, and map member ids back.
+
+    Both routes produce identical answers (the remap argument above);
+    which one runs is a pure performance decision.
+    """
+    aggregator = spec.f
+    predicate = spec.labels
+
+    pushdown = (
+        not spec.non_overlapping
+        and not spec.size_constrained
+        and (
+            method in ("naive", "improved", "approx")
+            or (
+                method == "auto"
+                and aggregator.decreases_under_removal
+                and not aggregator.is_node_dominated
+            )
+        )
+    )
+    if pushdown:
+        if method == "naive":
+            return sum_naive(
+                graph, spec.k, spec.r, aggregator, backend=backend,
+                engine_pool=engine_pool, labels=predicate,
+            )
+        use_eps = eps if method in ("approx", "auto") else 0.0
+        return tic_improved(
+            graph, spec.k, spec.r, aggregator, eps=use_eps, backend=backend,
+            engine_pool=engine_pool, labels=predicate,
+        )
+
+    from repro.graphs.views import induced_subgraph
+
+    matching = [int(v) for v in np.flatnonzero(matching_mask(graph, predicate))]
+    subgraph, __ = induced_subgraph(graph, matching)
+    inner = replace(spec, labels=None)
+    if inner.infeasible_for(subgraph):
+        return ResultSet(())
+    result = _dispatch(
+        subgraph, inner, method, eps, greedy, seed_order, rng_seed, backend,
+        None,
+    )
+    # induced_subgraph numbers new ids by sorted original id, so
+    # ``matching[new_id]`` inverts the mapping; the remap being monotone,
+    # re-sorting in ResultSet reproduces the subgraph ranking exactly.
+    return ResultSet(
+        Community(
+            frozenset(matching[v] for v in community.vertices),
+            community.value,
+            community.aggregator,
+            community.k,
+        )
+        for community in result
     )
 
 

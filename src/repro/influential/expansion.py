@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.aggregators.base import Aggregator
 from repro.graphs.backend import resolve_backend
 from repro.graphs.graph import Graph
@@ -332,6 +334,7 @@ def seed_candidates(
     hasher: ZobristHasher,
     backend: str = "auto",
     pool=None,
+    labels=None,
 ) -> Iterator[ChildCandidate]:
     """The Lines-1-2 seeds of Algorithms 1 and 2: every connected component
     of the maximal k-core, as a :class:`ChildCandidate`.
@@ -343,20 +346,45 @@ def seed_candidates(
     paths emit components in smallest-member order and evaluate the
     aggregator over ascending member ids, so seed values (and every float
     derived from them) are bit-identical.
+
+    ``labels`` (a :class:`~repro.influential.constraints.LabelPredicate`)
+    restricts seeding to the maximal k-core *of the induced subgraph of
+    matching vertices* — the constrained-query pushdown.  Because every
+    expansion step is component-local, children of a constrained seed
+    keep the all-members-match invariant, so pruning here, before any
+    expansion, is equivalent to solving on ``G[matching]`` (and therefore
+    to post-filtering) without paying a subgraph materialisation.
     """
     from repro.core.kcore import connected_kcore_components
 
+    if labels is None:
+        if pool is not None and resolve_backend(backend) == "csr":
+            for members in pool.seed_members(k):
+                value = aggregator.value(graph, members.ids.tolist())
+                yield ChildCandidate(members, value, members.key)
+            return
+        for component in connected_kcore_components(
+            graph, range(graph.n), k, backend=backend
+        ):
+            members, key = community_members(component, hasher, backend)
+            # Ascending member order keeps the float summation sequence —
+            # and therefore the seed values — identical across backends.
+            value = aggregator.value(graph, sorted(component))
+            yield ChildCandidate(members, value, key)
+        return
+
     if pool is not None and resolve_backend(backend) == "csr":
-        for members in pool.seed_members(k):
+        for members in pool.constrained_seed_members(k, labels):
             value = aggregator.value(graph, members.ids.tolist())
             yield ChildCandidate(members, value, members.key)
         return
+    from repro.influential.constraints import matching_mask
+
+    matching = [int(v) for v in np.flatnonzero(matching_mask(graph, labels))]
     for component in connected_kcore_components(
-        graph, range(graph.n), k, backend=backend
+        graph, matching, k, backend=backend
     ):
         members, key = community_members(component, hasher, backend)
-        # Ascending member order keeps the float summation sequence — and
-        # therefore the seed values — identical across backends.
         value = aggregator.value(graph, sorted(component))
         yield ChildCandidate(members, value, key)
 

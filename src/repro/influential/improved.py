@@ -60,6 +60,7 @@ def tic_improved(
     eps: float = 0.0,
     backend: str = "auto",
     engine_pool=None,
+    labels=None,
 ) -> ResultSet:
     """Top-r size-unconstrained communities via best-first search.
 
@@ -71,6 +72,11 @@ def tic_improved(
     :class:`~repro.serving.engine_pool.ExpansionEnginePool` sharing seed
     components, expansion structures and the Zobrist table across queries
     (CSR backend only; a pure cache — results are unchanged).
+    ``labels`` (a :class:`~repro.influential.constraints.LabelPredicate`)
+    restricts the search to all-members-match communities by seeding from
+    the constrained k-core — expansion is component-local, so the whole
+    lattice inherits the constraint (see
+    :func:`~repro.influential.expansion.seed_candidates`).
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -95,7 +101,9 @@ def tic_improved(
     # `candidate_top` tracks the r best candidate values ever generated;
     # its threshold is the paper's f(Lr) pruning bound (Line 13).
     candidate_top: TopR[float] = TopR(r, key=lambda v: v)
-    for seed in seed_candidates(graph, k, aggregator, hasher, resolved, pool):
+    for seed in seed_candidates(
+        graph, k, aggregator, hasher, resolved, pool, labels=labels
+    ):
         seen.add(seed.vertices, seed.key)
         frontier.push(seed.value, seed)
         candidate_top.offer(seed.value)

@@ -56,6 +56,7 @@ def sum_naive(
     max_sweeps: int | None = None,
     backend: str = "auto",
     engine_pool=None,
+    labels=None,
 ) -> ResultSet:
     """Top-r size-unconstrained k-influential communities (Algorithm 1).
 
@@ -68,6 +69,9 @@ def sum_naive(
     :class:`~repro.serving.engine_pool.ExpansionEnginePool` sharing seed
     components, expansion structures and the Zobrist table across queries
     (CSR backend only; a pure cache — results are unchanged).
+    ``labels`` restricts the search to all-members-match communities by
+    seeding from the constrained k-core (see
+    :func:`~repro.influential.expansion.seed_candidates`).
     """
     aggregator = get_aggregator(f) if f is not None else Sum()
     if not aggregator.decreases_under_removal:
@@ -87,7 +91,9 @@ def sum_naive(
     top: TopR[ChildCandidate] = TopR(r, key=lambda c: c.value)
     hasher = pool.hasher if pool is not None else ZobristHasher(graph.n)
     seen = CommunityDeduper(hasher)
-    for seed in seed_candidates(graph, k, aggregator, hasher, resolved, pool):
+    for seed in seed_candidates(
+        graph, k, aggregator, hasher, resolved, pool, labels=labels
+    ):
         seen.add(seed.vertices, seed.key)
         top.offer(seed)
 

@@ -15,6 +15,7 @@ from repro.aggregators.base import Aggregator
 from repro.aggregators.registry import get_aggregator
 from repro.errors import SpecError
 from repro.graphs.graph import Graph
+from repro.influential.constraints import LabelPredicate
 
 
 @dataclass(frozen=True)
@@ -23,7 +24,10 @@ class ProblemSpec:
 
     ``s=None`` means size-unconstrained (the paper's convention is
     ``s = |V|``); ``non_overlapping=True`` asks for Problem 2 (TONIC)
-    instead of Problem 1 (TIC).
+    instead of Problem 1 (TIC).  ``labels`` optionally constrains the
+    answer to communities whose members *all* match the predicate (the
+    Top-L extension): the constrained problem is the unconstrained one
+    on the induced subgraph of matching vertices.
     """
 
     k: int
@@ -31,6 +35,7 @@ class ProblemSpec:
     f: Aggregator
     s: int | None = None
     non_overlapping: bool = False
+    labels: LabelPredicate | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -44,6 +49,10 @@ class ProblemSpec:
             )
         if not isinstance(self.f, Aggregator):
             raise SpecError(f"f must be an Aggregator, got {type(self.f).__name__}")
+        if self.labels is not None and not isinstance(self.labels, LabelPredicate):
+            raise SpecError(
+                f"labels must be a LabelPredicate, got {type(self.labels).__name__}"
+            )
 
     @staticmethod
     def create(
@@ -52,14 +61,24 @@ class ProblemSpec:
         f: "str | Aggregator",
         s: int | None = None,
         non_overlapping: bool = False,
+        labels: "LabelPredicate | str | list | dict | None" = None,
     ) -> "ProblemSpec":
-        """Build a spec, resolving ``f`` by name if necessary."""
-        return ProblemSpec(k, r, get_aggregator(f), s, non_overlapping)
+        """Build a spec, resolving ``f`` by name and parsing ``labels``
+        from any wire shape :meth:`LabelPredicate.from_json` accepts."""
+        return ProblemSpec(
+            k, r, get_aggregator(f), s, non_overlapping,
+            LabelPredicate.from_json(labels),
+        )
 
     @property
     def size_constrained(self) -> bool:
         """True for Problem-1-with-s instances (Definition 4 applies)."""
         return self.s is not None
+
+    @property
+    def label_constrained(self) -> bool:
+        """True when a label predicate restricts community membership."""
+        return self.labels is not None
 
     @property
     def is_np_hard(self) -> bool:

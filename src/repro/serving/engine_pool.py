@@ -90,6 +90,7 @@ class ExpansionEnginePool:
         "_k_state_capacity",
         "_empty_state",
         "_structures",
+        "_constrained_seeds",
         "structure_hits",
         "structure_misses",
     )
@@ -128,6 +129,10 @@ class ExpansionEnginePool:
         self._k_state_capacity = k_state_capacity
         self._empty_state: _PerKState | None = None
         self._structures = LRUCache(capacity)
+        # Constrained-seed lists per (k, label predicate): one masked peel
+        # each, so the cache is small and cheap to refill — it is cleared
+        # wholesale on any topology change (see apply_update).
+        self._constrained_seeds = LRUCache(64)
         self.structure_hits = 0
         self.structure_misses = 0
 
@@ -202,6 +207,34 @@ class ExpansionEnginePool:
     def seed_members(self, k: int) -> list[MemberArray]:
         """The maximal k-core components, smallest member first."""
         return list(self._state_for(k).seeds)
+
+    def constrained_seed_members(self, k: int, predicate) -> list[MemberArray]:
+        """Seeds of the label-constrained lattice at constraint ``k``: the
+        components of the maximal k-core of ``G[matching]``.
+
+        The peel starts from ``matching ∩ {core >= k}`` — the constrained
+        k-core is contained in both, so intersecting first only shrinks
+        the work, never the fixpoint — and runs on the *global* CSR, so no
+        vertex ids are remapped and the resulting seeds share the pool's
+        structure LRU with unconstrained queries at the same k.
+        """
+        from repro.influential.constraints import matching_mask
+
+        key = (k, predicate)
+        cached = self._constrained_seeds.get(key)
+        if cached is not None:
+            return list(cached)
+        mask = matching_mask(self.graph, predicate) & (self.core_numbers >= k)
+        seeds: list[MemberArray] = []
+        if mask.any():
+            self.graph.csr.peel_to_kcore(mask, k)
+            for component in self.graph.csr.components_of_mask(mask):
+                ids = component
+                if ids.size == 0 or ids[-1] <= np.iinfo(np.int32).max:
+                    ids = ids.astype(np.int32)
+                seeds.append(MemberArray(ids, self.hasher.hash_members(ids)))
+        self._constrained_seeds.put(key, tuple(seeds))
+        return list(seeds)
 
     def _seed_structure(self, state: _PerKState, index: int, k: int):
         structure = state.structures[index]
@@ -287,6 +320,11 @@ class ExpansionEnginePool:
             )
         self.graph = graph
         self._cores = core_numbers
+        # Constrained seeds are peeled inside the *induced* subgraph of a
+        # predicate's matching set, whose core structure has its own (finer)
+        # locality; rather than prove a per-entry bound, drop them all —
+        # each entry is one masked peel to rebuild.
+        self._constrained_seeds.clear()
         dropped = 0
         for k in [k for k in self._per_k if k <= max_affected_core]:
             state = self._per_k.pop(k)
@@ -327,6 +365,7 @@ class ExpansionEnginePool:
         self._per_k.clear()
         self._empty_state = None
         self._structures.clear()
+        self._constrained_seeds.clear()
 
     def stats(self) -> dict[str, object]:
         """Cache counters, JSON-ready (feeds the service's stats)."""
@@ -334,6 +373,7 @@ class ExpansionEnginePool:
             "structure_lru": self._structures.stats(),
             "structure_hits": self.structure_hits,
             "structure_misses": self.structure_misses,
+            "constrained_seed_entries": len(self._constrained_seeds),
             "ks_seeded": sorted(
                 k for k, state in self._per_k.items() if state.seeds
             ),

@@ -8,21 +8,51 @@ to a load balancer.  The JSON schemas are exactly the ones the
 ``repro batch`` CLI already reads and writes, so a workload file can be
 replayed against a live server unchanged.
 
-Endpoints
----------
-=======  =================  ====================================================
-method   path               body → response
-=======  =================  ====================================================
-GET      ``/``              service banner: version, graph shape, endpoints
-GET      ``/healthz``       liveness: ``{"status": "ok", ...}``
-GET      ``/stats``         serving counters + cache/pool stats + HTTP counters
-POST     ``/query``         one query object → one result payload
-POST     ``/batch``         array of query objects → ordered result payloads
-POST     ``/update-weights``  ``{"weights": [...]}`` → invalidation summary
-POST     ``/update-edges``  ``{"insert": [[u, v], ...], "delete": [...]}`` →
-                            delta summary (see below)
-POST     ``/invalidate``    ``{"k": 4}`` (or ``{}`` for all) → entries dropped
-=======  =================  ====================================================
+Endpoints (v1)
+--------------
+=======  ==========================  ============================================
+method   path                        body → response
+=======  ==========================  ============================================
+GET      ``/``                       service banner: version, graph shape,
+                                     endpoints, deprecations
+GET      ``/v1/healthz``             liveness: ``{"status": "ok", ...}``
+GET      ``/v1/stats``               serving counters + cache/pool/HTTP stats
+POST     ``/v1/query``               one query envelope → one result payload
+POST     ``/v1/batch``               ``{"queries": [...]}`` → ordered payloads
+POST     ``/v1/update-weights``      ``{"weights": [...]}`` → invalidation
+                                     summary
+POST     ``/v1/update-edges``        ``{"insert": [[u, v], ...],
+                                     "delete": [...]}`` → delta summary
+POST     ``/v1/invalidate``          ``{"k": 4}`` (or ``{}``) → entries dropped
+POST     ``/v1/analytics/leaders``   ``{"query": {...}, "deputies": 1}`` →
+                                     per-community leader/deputy roster
+POST     ``/v1/analytics/reach``     ``{"query": {...}, "hops": 2}`` →
+                                     per-community k-hop reach percentages
+POST     ``/v1/analytics/summary``   ``{"query": {...}}`` → size/overlap summary
+=======  ==========================  ============================================
+
+The **v1 query envelope** nests solver tuning under ``options`` and label
+constraints under ``constraints``::
+
+    {"k": 4, "r": 3, "f": "sum", "s": null, "cohesion": "core",
+     "non_overlapping": false,
+     "constraints": {"labels": {"any": ["db", "ml"]}},
+     "options": {"method": "auto", "eps": 0.1, "backend": "auto",
+                 "greedy": true, "seed_order": null, "rng_seed": null}}
+
+Every v1 response carries ``api_version: "v1"`` and (for query-shaped
+responses) echoes the **normalized** query — the canonical form actually
+answered, aggregator spelling and constraint shape collapsed.  Errors on
+*every* endpoint (v1 and legacy) share one machine-readable envelope::
+
+    {"error": {"code": "spec_error", "detail": "unknown aggregator 'bogus'"}}
+
+The **legacy flat routes** (``/query``, ``/batch``, ``/update-weights``,
+``/update-edges``, ``/invalidate``, ``/healthz``, ``/stats``) still serve
+their historical request/response shapes so recorded workloads replay
+unchanged, but every legacy response carries a ``Deprecation: true``
+header plus a ``Link: </v1/...>; rel="successor-version"`` pointer; see
+docs/API.md for the migration notes.
 
 Edge updates go through :class:`~repro.graphs.delta.GraphDelta`: the CSR
 is patched and core numbers are repaired incrementally, and invalidation
@@ -89,7 +119,15 @@ from repro.serving.service import (
 from repro.utils.memory import rss_bytes
 from repro.utils.parallel import cap_workers
 
-__all__ = ["ServingApp", "result_payload", "run_server_in_thread", "serve"]
+__all__ = [
+    "API_VERSION",
+    "ServingApp",
+    "query_envelope",
+    "result_payload",
+    "result_payload_v1",
+    "run_server_in_thread",
+    "serve",
+]
 
 #: Largest accepted request body (a 1M-vertex weight vector is ~20 MB).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -113,9 +151,44 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+#: Default machine-readable error code per status; ``_HTTPError`` and the
+#: raw pre-dispatch refusals fall back to these when no finer code fits.
+#: The full code table (including the ``ReproError``-derived codes) lives
+#: in docs/API.md.
+_STATUS_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    431: "header_fields_too_large",
+    500: "internal",
+    501: "not_implemented",
+    503: "queue_full",
+}
+
+#: API version tag stamped into every v1 response body.
+API_VERSION = "v1"
+
+
+def _error_body(code: str, detail: str) -> dict:
+    """The uniform error envelope every endpoint (v1 and legacy) serves."""
+    return {"error": {"code": code, "detail": detail}}
+
+
+def _repro_error_code(exc: ReproError) -> str:
+    """``SpecError`` → ``spec_error`` etc. — snake_case of the class name."""
+    name = type(exc).__name__
+    out = [name[0].lower()]
+    for char in name[1:]:
+        if char.isupper():
+            out.append("_")
+        out.append(char.lower())
+    return "".join(out)
+
 
 def result_payload(query: InfluentialQuery, result: ResultSet) -> dict:
-    """The JSON body served for one answered query.
+    """The JSON body served for one answered query (legacy flat shape).
 
     Matches the records ``repro batch --out`` writes, so HTTP answers and
     batch-CLI answers diff cleanly; the test suite compares these payloads
@@ -130,6 +203,50 @@ def result_payload(query: InfluentialQuery, result: ResultSet) -> dict:
     }
 
 
+def query_envelope(query: InfluentialQuery) -> dict:
+    """The normalized v1 wire form of a query, echoed in v1 responses.
+
+    This is the canonical shape actually answered: the aggregator is its
+    registry name (``sum-surplus(alpha=2)`` and ``sum-surplus(2)`` echo
+    identically), constraints are the canonical predicate wire form, and
+    solver tuning sits under ``options`` exactly as a v1 request nests it
+    — so the echo round-trips as a valid ``POST /v1/query`` body.
+    """
+    constraints = None
+    if query.constraints is not None:
+        constraints = {"labels": query.constraints.to_json()}
+    return {
+        "k": query.k,
+        "r": query.r,
+        "f": query.aggregator.name,
+        "s": query.s,
+        "cohesion": query.cohesion,
+        "non_overlapping": query.non_overlapping,
+        "constraints": constraints,
+        "options": {
+            "method": query.method,
+            "eps": float(query.eps),
+            "backend": query.backend,
+            "greedy": query.greedy,
+            "seed_order": query.seed_order,
+            "rng_seed": query.rng_seed,
+        },
+    }
+
+
+def result_payload_v1(query: InfluentialQuery, result: ResultSet) -> dict:
+    """The JSON body ``POST /v1/query`` serves: versioned, echoing the
+    normalized query, with the same values/communities the legacy shape
+    carries (so v1 and legacy answers stay value-identical)."""
+    return {
+        "api_version": API_VERSION,
+        "query": query_envelope(query),
+        "count": len(result),
+        "values": result.values(),
+        "communities": [sorted(c.vertices) for c in result],
+    }
+
+
 class _HTTPError(Exception):
     """Internal: carry an HTTP status + JSON error body to the writer."""
 
@@ -138,10 +255,12 @@ class _HTTPError(Exception):
         status: int,
         message: str,
         headers: "dict[str, str] | None" = None,
+        code: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.headers = headers or {}
+        self.code = code or _STATUS_CODES.get(status, "error")
 
 
 class ServingApp:
@@ -214,6 +333,18 @@ class ServingApp:
         self.shed = 0
         self._routes: dict[tuple[str, str], Callable[[object], Awaitable[dict]]] = {
             ("GET", "/"): self._get_index,
+            ("GET", "/v1/healthz"): self._get_healthz,
+            ("GET", "/v1/stats"): self._get_stats,
+            ("POST", "/v1/query"): self._post_query_v1,
+            ("POST", "/v1/batch"): self._post_batch_v1,
+            ("POST", "/v1/update-weights"): self._post_update_weights,
+            ("POST", "/v1/update-edges"): self._post_update_edges,
+            ("POST", "/v1/invalidate"): self._post_invalidate,
+            ("POST", "/v1/analytics/leaders"): self._post_analytics_leaders,
+            ("POST", "/v1/analytics/reach"): self._post_analytics_reach,
+            ("POST", "/v1/analytics/summary"): self._post_analytics_summary,
+            # Legacy flat aliases: same service, historical shapes, served
+            # with a Deprecation header (see _dispatch).
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/stats"): self._get_stats,
             ("POST", "/query"): self._post_query,
@@ -221,6 +352,17 @@ class ServingApp:
             ("POST", "/update-weights"): self._post_update_weights,
             ("POST", "/update-edges"): self._post_update_edges,
             ("POST", "/invalidate"): self._post_invalidate,
+        }
+        # path → v1 successor, for the Deprecation/Link headers and the
+        # banner's migration table.
+        self._deprecated_paths: dict[str, str] = {
+            "/healthz": "/v1/healthz",
+            "/stats": "/v1/stats",
+            "/query": "/v1/query",
+            "/batch": "/v1/batch",
+            "/update-weights": "/v1/update-weights",
+            "/update-edges": "/v1/update-edges",
+            "/invalidate": "/v1/invalidate",
         }
 
     # ------------------------------------------------------------------
@@ -406,10 +548,14 @@ class ServingApp:
         return {
             "service": "repro-topr-influential",
             "version": __version__,
+            "api_version": API_VERSION,
             "graph": {"n": graph.n, "m": graph.m},
             "kmax": self.service.kmax,
             "workers": self.workers,
             "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
+            "deprecated": {
+                old: new for old, new in sorted(self._deprecated_paths.items())
+            },
         }
 
     def _replication_status(self) -> "dict | None":
@@ -478,6 +624,177 @@ class ServingApp:
         query = self._parse_query(body)
         result = await self.answer(query)
         return result_payload(query, result)
+
+    # -- v1 envelope ----------------------------------------------------
+    #: Top-level fields a v1 query envelope may carry; solver tuning must
+    #: sit under ``options``.
+    _V1_QUERY_FIELDS = frozenset(
+        {"k", "r", "f", "s", "cohesion", "non_overlapping", "constraints",
+         "options"}
+    )
+    #: Tuning knobs accepted under ``options``.
+    _V1_OPTION_FIELDS = frozenset(
+        {"method", "eps", "backend", "greedy", "seed_order", "rng_seed"}
+    )
+
+    def _parse_v1_query(self, entry: object) -> InfluentialQuery:
+        """Validate one v1 query envelope into an ``InfluentialQuery``.
+
+        The flat legacy spelling of a tuning knob at the top level is the
+        expected migration mistake, so its rejection names the fix
+        ("move it under 'options'") instead of a bare unknown-field error.
+        """
+        if not isinstance(entry, Mapping):
+            raise _HTTPError(
+                400,
+                f"v1 query must be a JSON object, got {type(entry).__name__}",
+            )
+        unknown = set(map(str, entry)) - self._V1_QUERY_FIELDS
+        if unknown:
+            misplaced = sorted(unknown & self._V1_OPTION_FIELDS)
+            if misplaced:
+                raise _HTTPError(
+                    400,
+                    f"solver option(s) {misplaced} must be nested under "
+                    f"'options' in a v1 query (the flat shape is the "
+                    f"deprecated legacy /query contract)",
+                )
+            raise _HTTPError(
+                400,
+                f"unknown v1 query field(s) {sorted(unknown)}; expected "
+                f"among {sorted(self._V1_QUERY_FIELDS)}",
+            )
+        options = entry.get("options")
+        if options is None:
+            options = {}
+        if not isinstance(options, Mapping):
+            raise _HTTPError(
+                400,
+                f"'options' must be a JSON object of solver tuning knobs, "
+                f"got {type(options).__name__}",
+            )
+        unknown_options = set(map(str, options)) - self._V1_OPTION_FIELDS
+        if unknown_options:
+            raise _HTTPError(
+                400,
+                f"unknown option field(s) {sorted(unknown_options)}; "
+                f"expected among {sorted(self._V1_OPTION_FIELDS)}",
+            )
+        merged = {
+            name: value for name, value in entry.items() if name != "options"
+        }
+        merged.update(options)
+        return InfluentialQuery.create(merged)
+
+    async def _post_query_v1(self, body: object) -> dict:
+        query = self._parse_v1_query(body)
+        result = await self.answer(query)
+        return result_payload_v1(query, result)
+
+    async def _post_batch_v1(self, body: object) -> dict:
+        if isinstance(body, Mapping) and "queries" in body:
+            body = body["queries"]
+        if not isinstance(body, list):
+            raise _HTTPError(
+                400,
+                'v1 batch body must be {"queries": [...]} '
+                "(or a bare JSON array of v1 query envelopes)",
+            )
+        queries = [self._parse_v1_query(entry) for entry in body]
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(self.answer(q) for q in queries), return_exceptions=True
+        )
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return {
+            "api_version": API_VERSION,
+            "count": len(results),
+            "elapsed_seconds": round(time.perf_counter() - start, 6),
+            "results": [
+                result_payload_v1(query, result)
+                for query, result in zip(queries, results)
+            ],
+        }
+
+    # -- analytics ------------------------------------------------------
+    def _parse_analytics_body(
+        self, body: object, extras: frozenset
+    ) -> tuple[InfluentialQuery, Mapping]:
+        """Split an analytics body into (validated query, extra knobs)."""
+        if not isinstance(body, Mapping) or "query" not in body:
+            raise _HTTPError(
+                400,
+                'analytics body must be {"query": {...v1 query...}, ...}',
+            )
+        unknown = set(map(str, body)) - ({"query"} | set(extras))
+        if unknown:
+            raise _HTTPError(
+                400,
+                f"unknown analytics field(s) {sorted(unknown)}; expected "
+                f"among {sorted({'query'} | set(extras))}",
+            )
+        return self._parse_v1_query(body["query"]), body
+
+    @staticmethod
+    def _analytics_int(body: Mapping, name: str, default: int, low: int) -> int:
+        value = body.get(name, default)
+        if isinstance(value, bool) or not isinstance(value, int) or value < low:
+            raise _HTTPError(
+                400, f'"{name}" must be an integer >= {low}, got {value!r}'
+            )
+        return value
+
+    async def _post_analytics_leaders(self, body: object) -> dict:
+        from repro.analytics import community_leaders
+
+        query, extras = self._parse_analytics_body(body, frozenset({"deputies"}))
+        deputies = self._analytics_int(extras, "deputies", 1, 0)
+        result = await self.answer(query)
+        # The roster walk is pure read-only post-processing, but on a big
+        # graph it is still O(total community size) — keep it off the loop.
+        leaders = await self._run_off_loop(
+            community_leaders, self.service.graph, result, deputies
+        )
+        return {
+            "api_version": API_VERSION,
+            "query": query_envelope(query),
+            "count": len(result),
+            "leaders": leaders,
+        }
+
+    async def _post_analytics_reach(self, body: object) -> dict:
+        from repro.analytics import khop_reach
+
+        query, extras = self._parse_analytics_body(body, frozenset({"hops"}))
+        hops = self._analytics_int(extras, "hops", 2, 1)
+        result = await self.answer(query)
+        reach = await self._run_off_loop(
+            khop_reach, self.service.graph, result, hops
+        )
+        return {
+            "api_version": API_VERSION,
+            "query": query_envelope(query),
+            "count": len(result),
+            "hops": hops,
+            "reach": reach,
+        }
+
+    async def _post_analytics_summary(self, body: object) -> dict:
+        from repro.analytics import community_summary
+
+        query, __ = self._parse_analytics_body(body, frozenset())
+        result = await self.answer(query)
+        summary = await self._run_off_loop(
+            community_summary, self.service.graph, result
+        )
+        return {
+            "api_version": API_VERSION,
+            "query": query_envelope(query),
+            "count": len(result),
+            "summary": summary,
+        }
 
     async def _post_batch(self, body: object) -> dict:
         if isinstance(body, Mapping) and "queries" in body:
@@ -725,7 +1042,10 @@ class ServingApp:
             )
         except ValueError:
             await self._respond(
-                writer, 400, {"error": "malformed request line"}, False
+                writer,
+                400,
+                _error_body("malformed_request", "malformed request line"),
+                False,
             )
             return False
         headers: dict[str, str] = {}
@@ -735,7 +1055,12 @@ class ServingApp:
                 break
             if len(headers) >= MAX_HEADER_LINES:
                 await self._respond(
-                    writer, 431, {"error": "too many header fields"}, False
+                    writer,
+                    431,
+                    _error_body(
+                        "header_fields_too_large", "too many header fields"
+                    ),
+                    False,
                 )
                 return False
             name, _sep, value = line.decode("latin-1").partition(":")
@@ -751,8 +1076,11 @@ class ServingApp:
             await self._respond(
                 writer,
                 501,
-                {"error": "transfer-encoding is not supported; "
-                          "send a Content-Length body"},
+                _error_body(
+                    "not_implemented",
+                    "transfer-encoding is not supported; "
+                    "send a Content-Length body",
+                ),
                 False,
             )
             return False
@@ -761,10 +1089,15 @@ class ServingApp:
         except ValueError:
             length = -1
         if length < 0 or length > self.max_body_bytes:
+            oversized = length > self.max_body_bytes
             await self._respond(
                 writer,
-                413 if length > self.max_body_bytes else 400,
-                {"error": f"unacceptable content-length {headers.get('content-length')!r}"},
+                413 if oversized else 400,
+                _error_body(
+                    "payload_too_large" if oversized else "bad_request",
+                    "unacceptable content-length "
+                    f"{headers.get('content-length')!r}",
+                ),
                 False,
             )
             return False
@@ -788,15 +1121,35 @@ class ServingApp:
             self._active_requests -= 1
         return keep_alive
 
+    def _deprecation_headers(self, path: str) -> dict:
+        """Headers advertising the v1 successor of a legacy route."""
+        successor = self._deprecated_paths.get(path)
+        if successor is None:
+            return {}
+        return {
+            "Deprecation": "true",
+            "Link": f'<{successor}>; rel="successor-version"',
+        }
+
     async def _dispatch(
         self, method: str, path: str, raw: bytes
     ) -> tuple[int, dict, dict]:
+        # Legacy aliases answer with their historical shapes but always
+        # carry the Deprecation/Link headers — on errors too, so a client
+        # probing with a bad body still learns about the successor.
+        deprecation = self._deprecation_headers(path)
         handler = self._routes.get((method, path))
         if handler is None:
             if any(p == path for _m, p in self._routes):
-                return 405, {"error": f"{method} not allowed on {path}"}, {}
+                return (
+                    405,
+                    _error_body(
+                        "method_not_allowed", f"{method} not allowed on {path}"
+                    ),
+                    deprecation,
+                )
             return 404, {
-                "error": f"no route {path}",
+                **_error_body("not_found", f"no route {path}"),
                 "endpoints": sorted(f"{m} {p}" for m, p in self._routes),
             }, {}
         body: object = None
@@ -811,17 +1164,37 @@ class ServingApp:
                 else:
                     body = json.loads(raw)
             except json.JSONDecodeError as exc:
-                return 400, {"error": f"body is not valid JSON: {exc}"}, {}
+                return (
+                    400,
+                    _error_body(
+                        "invalid_json", f"body is not valid JSON: {exc}"
+                    ),
+                    deprecation,
+                )
         try:
-            return 200, await handler(body), {}
+            payload = await handler(body)
+            if path.startswith("/v1/") and "api_version" not in payload:
+                # Shared handlers (healthz, mutations) serve both route
+                # generations; the v1 spelling stamps the version here.
+                payload = {"api_version": API_VERSION, **payload}
+            return 200, payload, deprecation
         except _HTTPError as exc:
-            return exc.status, {"error": str(exc)}, exc.headers
+            return (
+                exc.status,
+                _error_body(exc.code, str(exc)),
+                {**exc.headers, **deprecation},
+            )
         except ReproError as exc:
             # Spec/solver rejections: the client's request is at fault and
-            # carries the same message a cold library call would raise.
-            return 400, {"error": str(exc), "type": type(exc).__name__}, {}
+            # carries the same message a cold library call would raise,
+            # with the exception class as the machine-readable code.
+            return 400, _error_body(_repro_error_code(exc), str(exc)), deprecation
         except Exception as exc:  # noqa: BLE001 — last-resort 500
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+            return (
+                500,
+                _error_body("internal", f"{type(exc).__name__}: {exc}"),
+                deprecation,
+            )
 
     async def _respond(
         self,

@@ -37,6 +37,8 @@ from repro.influential.results import ResultSet
 
 __all__ = [
     "ORACLE_AGGREGATORS",
+    "bruteforce_constrained_top_r",
+    "constrained_discrepancies",
     "small_oracle_graphs",
     "oracle_discrepancies",
     "service_discrepancies",
@@ -167,6 +169,106 @@ def oracle_discrepancies(
         if best > bound + 1e-9:
             problems.append(
                 f"local [{cell}]: value {best} beats the exhaustive "
+                f"optimum {bound}"
+            )
+    return problems
+
+
+def bruteforce_constrained_top_r(
+    graph: Graph, k: int, r: int, f: str, labels
+) -> ResultSet:
+    """Post-filtered brute force: the constrained-query reference.
+
+    Enumerates every connected k-core of the *full* graph, keeps exactly
+    those whose members all satisfy the label predicate, applies
+    Definition 3 maximality within the surviving candidates, and ranks.
+    This is the literal "query then filter" semantics the constrained
+    solvers must reproduce — equivalent to brute force on the induced
+    subgraph of matching vertices, because induced degrees of an
+    all-matching set are identical in both graphs.
+    """
+    from repro.influential.bruteforce import enumerate_connected_kcores
+    from repro.influential.community import community_from_vertices
+    from repro.influential.constraints import LabelPredicate
+
+    aggregator = get_aggregator(f)
+    predicate = LabelPredicate.from_json(labels)
+    names = graph.labels
+    if names is None:
+        raise ValueError("constrained oracle needs a labeled graph")
+    candidates = [
+        subset
+        for subset in enumerate_connected_kcores(graph, k)
+        if all(predicate.matches(names[v]) for v in subset)
+    ]
+    communities = []
+    for subset in candidates:
+        value = aggregator.value(graph, subset)
+        dominated = any(
+            len(other) > len(subset)
+            and subset < other
+            and aggregator.value(graph, other) == value
+            for other in candidates
+        )
+        if not dominated:
+            communities.append(
+                community_from_vertices(graph, subset, aggregator, k)
+            )
+    return ResultSet(sorted(communities)[:r])
+
+
+def constrained_discrepancies(
+    graph: Graph, k: int, r: int, f: str, labels, backend: str = "csr"
+) -> list[str]:
+    """Constrained solves vs. the post-filtered brute force for one cell.
+
+    Exercises both the pushdown path (decreasing aggregators through
+    Algorithms 1-2) and the induced-subgraph fallback (min/max peels);
+    the local-search heuristic is checked for constraint *soundness* —
+    every member matches and nothing beats the constrained optimum.
+    """
+    from repro.influential.constraints import LabelPredicate
+
+    aggregator = get_aggregator(f)
+    predicate = LabelPredicate.from_json(labels)
+    oracle = bruteforce_constrained_top_r(graph, k, r, aggregator, predicate)
+    problems: list[str] = []
+    cell = (
+        f"{aggregator.name} k={k} r={r} {predicate.describe()} "
+        f"backend={backend}"
+    )
+
+    methods = []
+    if aggregator.decreases_under_removal:
+        methods += ["naive", "improved", "auto"]
+    if aggregator.name in ("min", "max"):
+        methods.append("auto")
+    for method in methods:
+        produced = top_r_communities(
+            graph, k, r, aggregator, method=method, backend=backend,
+            labels=predicate,
+        )
+        _compare_oracle(f"{method} [{cell}]", produced, oracle, problems)
+
+    names = graph.labels
+    heuristic = top_r_communities(
+        graph, k, r, aggregator, method="local", backend=backend,
+        labels=predicate,
+    )
+    for community in heuristic:
+        mismatched = [
+            v for v in sorted(community.vertices)
+            if not predicate.matches(names[v])
+        ]
+        if mismatched:
+            problems.append(
+                f"local [{cell}]: members {mismatched} violate the predicate"
+            )
+    if heuristic and oracle:
+        best, bound = heuristic.values()[0], oracle.values()[0]
+        if best > bound + 1e-9:
+            problems.append(
+                f"local [{cell}]: value {best} beats the constrained "
                 f"optimum {bound}"
             )
     return problems

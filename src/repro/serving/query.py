@@ -22,6 +22,7 @@ from typing import Mapping
 from repro.aggregators.base import Aggregator
 from repro.aggregators.registry import get_aggregator
 from repro.errors import SpecError
+from repro.influential.constraints import LabelPredicate
 
 __all__ = ["InfluentialQuery"]
 
@@ -53,6 +54,7 @@ class InfluentialQuery:
     rng_seed: int | None = None
     backend: str = "auto"
     cohesion: str = "core"
+    constraints: "LabelPredicate | Mapping[str, object] | None" = None
 
     def __post_init__(self) -> None:
         # Field *types* are validated here because queries routinely arrive
@@ -97,6 +99,29 @@ class InfluentialQuery:
                 f"unknown cohesion model {self.cohesion!r}; "
                 f"expected one of {COHESIONS}"
             )
+        # `constraints` arrives from JSON as {"labels": <predicate shape>};
+        # normalise to the hashable LabelPredicate so the frozen dataclass
+        # stays picklable/hashable and two spellings of one constraint
+        # collapse to one cache identity.
+        if self.constraints is not None and not isinstance(
+            self.constraints, LabelPredicate
+        ):
+            if not isinstance(self.constraints, Mapping):
+                raise SpecError(
+                    f"query field 'constraints' must be a mapping like "
+                    f"{{'labels': ...}}, got {self.constraints!r}"
+                )
+            unknown = set(self.constraints) - {"labels"}
+            if unknown:
+                raise SpecError(
+                    f"unknown constraint field(s) {sorted(map(str, unknown))}; "
+                    f"expected among ['labels']"
+                )
+            object.__setattr__(
+                self,
+                "constraints",
+                LabelPredicate.from_json(self.constraints.get("labels")),
+            )
 
     @staticmethod
     def _require_int(name: str, value: object) -> None:
@@ -135,9 +160,10 @@ class InfluentialQuery:
         """Canonical, hashable identity of this query's *answer*.
 
         Layout is stable — ``(cohesion, k, r, aggregator-name, s, method,
-        eps, non_overlapping, greedy, seed_order, rng_seed)`` — so cache
-        consumers can invalidate by position (the service's per-k
-        invalidation reads index 1).
+        eps, non_overlapping, greedy, seed_order, rng_seed, constraints)``
+        — so cache consumers can invalidate by position (the service's
+        per-k invalidation reads index 1).  The label predicate rides at
+        the *end*, so the positional reads of older consumers stay valid.
         """
         return (
             self.cohesion,
@@ -151,6 +177,7 @@ class InfluentialQuery:
             self.greedy,
             self.seed_order,
             self.rng_seed,
+            self.constraints,
         )
 
     def solver_kwargs(self) -> dict[str, object]:
@@ -167,7 +194,30 @@ class InfluentialQuery:
             "greedy": self.greedy,
             "seed_order": self.seed_order,
             "rng_seed": self.rng_seed,
+            "labels": self.constraints,
         }
+
+    def wire_dict(self) -> dict[str, object]:
+        """JSON-able flat request body (the legacy ``/query`` shape,
+        also one entry of a ``repro batch`` workload file).
+        ``create`` round-trips it; the label predicate serialises to
+        its ``{"labels": ...}`` wire form."""
+        body: dict[str, object] = {
+            "k": self.k,
+            "r": self.r,
+            "f": self.f if isinstance(self.f, str) else self.aggregator.name,
+            "s": self.s,
+            "method": self.method,
+            "eps": self.eps,
+            "non_overlapping": self.non_overlapping,
+            "greedy": self.greedy,
+            "seed_order": self.seed_order,
+            "rng_seed": self.rng_seed,
+            "cohesion": self.cohesion,
+        }
+        if self.constraints is not None:
+            body["constraints"] = {"labels": self.constraints.to_json()}
+        return body
 
     def describe(self) -> str:
         """Compact one-line rendering for logs and CLI output."""
@@ -182,4 +232,6 @@ class InfluentialQuery:
             parts.append("tonic")
         if self.cohesion != "core":
             parts.append(f"cohesion={self.cohesion}")
+        if self.constraints is not None:
+            parts.append(self.constraints.describe())
         return "query(" + ", ".join(parts) + ")"

@@ -421,6 +421,11 @@ class QueryService:
                 "truss cohesion serves the size-unconstrained overlapping "
                 "problem only"
             )
+        if query.constraints is not None:
+            raise SolverError(
+                "label constraints are supported for core cohesion only; "
+                "truss cohesion has no constrained solver"
+            )
         aggregator = query.aggregator
         backend = self._effective_backend(query)
         if aggregator.is_size_proportional:

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.analytics.communities`.
+
+Hand-computed expectations on a two-component graph: vertices 0-2 form
+the heavy triangle (its own component, so reach saturates immediately),
+3-5 the light one with a two-edge tail 5-6-7 (so reach grows hop by
+hop), and a K4 exercises overlapping result sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import community_leaders, community_summary, khop_reach
+from repro.errors import SpecError
+from repro.graphs.builder import graph_from_edges
+from repro.influential.api import top_r_communities
+
+
+@pytest.fixture
+def two_triangles():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (5, 6), (6, 7)]
+    weights = [9.0, 8.0, 7.0, 3.0, 2.0, 1.0, 0.5, 0.4]
+    return graph_from_edges(edges, weights=weights, n=8)
+
+
+@pytest.fixture
+def top2(two_triangles):
+    result = top_r_communities(two_triangles, k=2, r=2, f="sum")
+    assert [sorted(c.vertices) for c in result] == [[0, 1, 2], [3, 4, 5]]
+    return result
+
+
+def test_leaders_ranked_by_weight(two_triangles, top2):
+    roster = community_leaders(two_triangles, top2, deputies=2)
+    assert [entry["rank"] for entry in roster] == [1, 2]
+    first = roster[0]
+    assert first["community"] == [0, 1, 2]
+    assert first["leader"]["vertex"] == 0 and first["leader"]["weight"] == 9.0
+    assert [d["vertex"] for d in first["deputies"]] == [1, 2]
+    second = roster[1]
+    assert second["leader"]["vertex"] == 3
+    assert second["value"] == pytest.approx(6.0)
+
+
+def test_leader_ties_break_to_smaller_id():
+    graph = graph_from_edges(
+        [(0, 1), (1, 2), (0, 2)], weights=[5.0, 5.0, 5.0], n=3
+    )
+    result = top_r_communities(graph, k=2, r=1, f="sum")
+    roster = community_leaders(graph, result, deputies=0)
+    assert roster[0]["leader"]["vertex"] == 0
+    assert roster[0]["deputies"] == []
+
+
+def test_leaders_rejects_negative_deputies(two_triangles, top2):
+    with pytest.raises(SpecError, match="deputies"):
+        community_leaders(two_triangles, top2, deputies=-1)
+
+
+def test_khop_reach_grows_then_saturates(two_triangles, top2):
+    reach = khop_reach(two_triangles, top2, hops=3)
+    first = reach[0]  # {0,1,2} is its whole component: flat at 3/8
+    assert first["reach_pct"]["1"] == pytest.approx(round(100 * 3 / 8, 4))
+    assert first["reach_pct"]["3"] == first["reach_pct"]["1"]
+    assert first["reached"] == 3
+    second = reach[1]  # {3,4,5} -> +6 at hop 1, +7 at hop 2, flat after
+    assert second["reach_pct"]["1"] == pytest.approx(round(100 * 4 / 8, 4))
+    assert second["reach_pct"]["2"] == pytest.approx(round(100 * 5 / 8, 4))
+    assert second["reach_pct"]["3"] == second["reach_pct"]["2"]
+    assert second["reached"] == 5
+
+
+def test_khop_reach_rejects_zero_hops(two_triangles, top2):
+    with pytest.raises(SpecError, match="hops"):
+        khop_reach(two_triangles, top2, hops=0)
+
+
+def test_summary_disjoint(two_triangles, top2):
+    summary = community_summary(two_triangles, top2)
+    assert summary["count"] == 2
+    assert summary["sizes"] == {"min": 3, "max": 3, "mean": 3.0}
+    assert summary["values"]["max"] == pytest.approx(24.0)
+    assert summary["values"]["min"] == pytest.approx(6.0)
+    assert summary["vertices_covered"] == 6
+    assert summary["coverage_pct"] == pytest.approx(round(100 * 6 / 8, 4))
+    assert summary["disjoint"] and summary["overlapping_pairs"] == []
+
+
+def test_summary_reports_overlap():
+    # K4 with distinct weights: the whole clique ranks first, the best
+    # triangle second — sharing three vertices (Jaccard 3/4).
+    k4 = graph_from_edges(
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        weights=[8.0, 4.0, 2.0, 1.0],
+        n=4,
+    )
+    result = top_r_communities(k4, k=2, r=2, f="sum")
+    assert len(result) == 2
+    summary = community_summary(k4, result)
+    assert not summary["disjoint"]
+    pair = summary["overlapping_pairs"][0]
+    assert pair == {"a": 1, "b": 2, "shared": 3, "jaccard": 0.75}
+    assert summary["vertices_covered"] == 4
+
+
+def test_empty_result_set(two_triangles):
+    empty = top_r_communities(two_triangles, k=5, r=2, f="sum")
+    assert len(empty) == 0
+    assert community_leaders(two_triangles, empty) == []
+    assert khop_reach(two_triangles, empty) == []
+    summary = community_summary(two_triangles, empty)
+    assert summary["count"] == 0 and summary["disjoint"]
+    assert summary["values"] == {"min": None, "max": None}

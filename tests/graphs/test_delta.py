@@ -261,3 +261,49 @@ def test_bad_construction_arguments(figure1):
         GraphDelta(figure1, batch_threshold=0)
     with pytest.raises(GraphError, match="core_numbers"):
         GraphDelta(figure1, core_numbers=np.zeros(3, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Labels ride through patches (the constrained-query lifecycle)
+# ----------------------------------------------------------------------
+def test_labels_survive_patch(figure1):
+    """Both delta strategies must carry ``graph.labels`` onto the patched
+    graph — a dropped label array would silently turn every constrained
+    query on a live-updated service into a SpecError."""
+    labeled = figure1.with_labels([f"g:{v % 3}" for v in range(figure1.n)])
+    for backend in ("csr", "set"):
+        report = GraphDelta(labeled, backend=backend).apply(
+            insert=[absent_edges(labeled)[0]],
+            delete=[present_edges(labeled)[0]],
+        )
+        assert report.graph.labels == labeled.labels
+
+
+def test_labels_survive_patch_then_snapshot_roundtrip(figure1, tmp_path):
+    """End to end: label the graph, patch it through a live service,
+    snapshot, reload — the restored service still answers constrained
+    queries, identically to a cold solve on the patched graph."""
+    from repro.influential.api import top_r_communities
+    from repro.serving.query import InfluentialQuery
+    from repro.serving.service import QueryService
+    from repro.serving.store import load_service, save_snapshot
+
+    labeled = figure1.with_labels(
+        ["g:db" if v % 2 == 0 else "g:ml" for v in range(figure1.n)]
+    )
+    service = QueryService(labeled, backend="csr")
+    service.update_edges(insert=[absent_edges(labeled)[0]])
+    assert service.graph.labels == labeled.labels
+
+    save_snapshot(service, tmp_path / "snap")
+    restored = load_service(tmp_path / "snap")
+    assert restored.graph.labels == labeled.labels
+
+    query = InfluentialQuery.create(
+        {"k": 2, "r": 2, "f": "sum", "constraints": {"labels": {"prefix": "g:"}}}
+    )
+    served = restored.submit(query)
+    cold = top_r_communities(
+        service.graph, k=2, r=2, f="sum", labels={"prefix": "g:"}
+    )
+    assert served == cold and served.values() == cold.values()

@@ -79,3 +79,100 @@ def test_save_writes_each_edge_once(tmp_path):
         line for line in path.read_text().splitlines() if not line.startswith("#")
     ]
     assert len(data_lines) == 2
+
+
+# ----------------------------------------------------------------------
+# Synthetic influence weights, degree labels and one-call ingestion
+# ----------------------------------------------------------------------
+def _star_path(tmp_path):
+    """A star (hub 0) plus a pendant chain, with scrambled SNAP ids."""
+    path = tmp_path / "snap.txt"
+    path.write_text(
+        "# comment line\n"
+        "100 200\n100 300\n100 400\n100 500\n400 500\n"
+        "500 600\n600 700\n"
+        "200 100\n"  # mirrored duplicate
+        "300 300\n",  # self-loop
+        encoding="utf-8",
+    )
+    return path
+
+
+def test_synthetic_weight_modes(figure1):
+    from repro.graphs.io import WEIGHT_MODES, synthetic_influence_weights
+
+    for mode in WEIGHT_MODES:
+        weights = synthetic_influence_weights(figure1, mode, seed=3)
+        assert weights.shape == (figure1.n,)
+        assert np.all(np.isfinite(weights)) and np.all(weights >= 0)
+        # Deterministic given (graph, mode, seed).
+        assert np.array_equal(
+            weights, synthetic_influence_weights(figure1, mode, seed=3)
+        )
+
+
+def test_structural_modes_rank_by_connectivity(figure1):
+    from repro.graphs.io import synthetic_influence_weights
+
+    degree = synthetic_influence_weights(figure1, "degree")
+    assert np.array_equal(degree, figure1.degrees().astype(np.float64) + 1.0)
+    pagerank = synthetic_influence_weights(figure1, "pagerank")
+    # PageRank mass is conserved: scaled to mean 1 across the graph.
+    assert pagerank.sum() == pytest.approx(figure1.n, rel=1e-6)
+    hub = int(np.argmax(figure1.degrees()))
+    assert pagerank[hub] == pytest.approx(pagerank.max())
+
+
+def test_unknown_weight_mode_rejected(figure1):
+    from repro.errors import SpecError
+    from repro.graphs.io import synthetic_influence_weights
+
+    with pytest.raises(SpecError, match="weight mode"):
+        synthetic_influence_weights(figure1, "fame")
+
+
+def test_degree_quantile_labels(figure1):
+    from repro.graphs.io import degree_quantile_labels
+
+    labels = degree_quantile_labels(figure1)
+    assert len(labels) == figure1.n
+    assert set(labels) <= {"deg:low", "deg:mid", "deg:high"}
+    assert all(label.startswith("deg:") for label in labels)
+    # The highest-degree vertex always lands in the top bucket.
+    hub = int(np.argmax(figure1.degrees()))
+    assert labels[hub] == "deg:high"
+    from repro.errors import SpecError
+
+    with pytest.raises(SpecError, match="bucket"):
+        degree_quantile_labels(figure1, names=())
+
+
+def test_ingest_edge_list_end_to_end(tmp_path):
+    from repro.graphs.io import ingest_edge_list
+
+    graph, id_map = ingest_edge_list(
+        _star_path(tmp_path), weights="degree", labels="degree"
+    )
+    assert graph.n == 7 and graph.m == 7  # dupes and self-loop dropped
+    assert sorted(id_map) == [100, 200, 300, 400, 500, 600, 700]
+    assert graph.weights is not None and graph.labels is not None
+    hub = id_map[100]
+    assert graph.weights[hub] == pytest.approx(5.0)  # degree 4 + 1
+    assert graph.labels[hub] == "deg:high"
+
+
+def test_ingest_without_labels(tmp_path):
+    from repro.graphs.io import ingest_edge_list
+
+    graph, __ = ingest_edge_list(_star_path(tmp_path), weights="uniform", seed=1)
+    assert graph.labels is None
+    again, __ = ingest_edge_list(_star_path(tmp_path), weights="uniform", seed=1)
+    assert np.array_equal(graph.weights, again.weights)
+
+
+def test_ingest_rejects_unknown_label_mode(tmp_path):
+    from repro.errors import SpecError
+    from repro.graphs.io import ingest_edge_list
+
+    with pytest.raises(SpecError, match="label mode"):
+        ingest_edge_list(_star_path(tmp_path), labels="color")

@@ -289,7 +289,9 @@ def test_invalid_json_400(served):
         connection.request("POST", "/query", body="{not json")
         response = connection.getresponse()
         assert response.status == 400
-        assert "JSON" in json.loads(response.read())["error"]
+        body = json.loads(response.read())
+        assert body["error"]["code"] == "invalid_json"
+        assert "JSON" in body["error"]["detail"]
     finally:
         connection.close()
 
@@ -309,14 +311,14 @@ def test_bad_queries_400_with_library_message(served, raw, fragment):
     __, ___, base_url = served
     status, payload = post(base_url, "/query", raw)
     assert status == 400
-    assert fragment in payload["error"]
+    assert fragment in payload["error"]["detail"]
 
 
 def test_batch_rejects_non_array(served):
     __, ___, base_url = served
     status, payload = post(base_url, "/batch", {"k": 2, "r": 2})
     assert status == 400
-    assert "array" in payload["error"]
+    assert "array" in payload["error"]["detail"]
 
 
 def test_oversized_body_413(served):
@@ -347,7 +349,9 @@ def test_chunked_transfer_encoding_refused(served):
         connection.endheaders()
         response = connection.getresponse()
         assert response.status == 501
-        assert "transfer-encoding" in json.loads(response.read())["error"]
+        body = json.loads(response.read())
+        assert body["error"]["code"] == "not_implemented"
+        assert "transfer-encoding" in body["error"]["detail"]
     finally:
         connection.close()
 
@@ -448,7 +452,7 @@ def test_update_weights_validation(served, figure1):
     __, ___, base_url = served
     status, payload = post(base_url, "/update-weights", {"weights": [1.0]})
     assert status == 400
-    assert str(figure1.n) in payload["error"]
+    assert str(figure1.n) in payload["error"]["detail"]
     status, __payload = post(base_url, "/update-weights", {"nope": 1})
     assert status == 400
     status, payload = post(
@@ -460,7 +464,7 @@ def test_update_weights_validation(served, figure1):
     epoch_before = health["epoch"]
     status, payload = post(base_url, "/update-weights", {"weights": bad})
     assert status == 400  # non-numeric elements: client error, not a 500
-    assert "numbers" in payload["error"]
+    assert "numbers" in payload["error"]["detail"]
     # a rejected body must not have cost any serving state (no epoch bump)
     status, health = get(base_url, "/healthz")
     assert health["epoch"] == epoch_before
@@ -602,7 +606,8 @@ def test_queue_bound_sheds_with_retry_after(slow_served):
         if status == 503:
             assert "Retry-After" in headers
             assert int(headers["Retry-After"]) >= 1
-            assert "queue is full" in body["error"]
+            assert body["error"]["code"] == "queue_full"
+            assert "queue is full" in body["error"]["detail"]
     assert app.shed == 2
     # Once the convoy clears, the same queries are admitted again.
     status, _body, _headers = _request_with_headers(

@@ -100,3 +100,75 @@ def test_field_types_validated():
         InfluentialQuery(k=4, r=2, seed_order=3)
     # Plain ints/floats in valid positions still construct fine.
     InfluentialQuery(k=4, r=2, eps=0, s=10, rng_seed=3)
+
+
+# ----------------------------------------------------------------------
+# Label constraints on the query object
+# ----------------------------------------------------------------------
+def test_constraints_normalise_to_predicate():
+    from repro.influential.constraints import LabelPredicate
+
+    query = InfluentialQuery(k=4, r=2, constraints={"labels": ["b", "a", "b"]})
+    assert isinstance(query.constraints, LabelPredicate)
+    assert query.constraints.kind == "any"
+    assert query.constraints.values == ("a", "b")
+    # A pre-built predicate passes through untouched.
+    predicate = LabelPredicate.from_json({"prefix": "g:"})
+    assert InfluentialQuery(k=4, r=2, constraints=predicate).constraints is predicate
+
+
+def test_constraints_spellings_share_a_cache_key():
+    flat = InfluentialQuery(k=4, r=2, constraints={"labels": {"any": ["a", "b"]}})
+    shuffled = InfluentialQuery(k=4, r=2, constraints={"labels": ["b", "a"]})
+    assert flat.cache_key() == shuffled.cache_key()
+
+
+def test_constraints_extend_cache_key_without_moving_fields():
+    plain = InfluentialQuery(k=4, r=2)
+    constrained = InfluentialQuery(k=4, r=2, constraints={"labels": "x"})
+    assert plain.cache_key() != constrained.cache_key()
+    # Positional reads baked into the pool/index layers stay valid.
+    assert constrained.cache_key()[1] == 4
+    assert plain.cache_key() == constrained.cache_key()[: len(plain.cache_key())] or (
+        len(constrained.cache_key()) == len(plain.cache_key())
+    )
+
+
+def test_constraints_malformed_rejected():
+    with pytest.raises(SpecError):
+        InfluentialQuery(k=4, r=2, constraints={"colors": "red"})
+    with pytest.raises(SpecError):
+        InfluentialQuery(k=4, r=2, constraints={"labels": 42})
+    with pytest.raises(SpecError):
+        InfluentialQuery(k=4, r=2, constraints="labels=x")
+
+
+def test_constraints_in_solver_kwargs_and_describe():
+    query = InfluentialQuery(k=4, r=2, constraints={"labels": {"prefix": "g:"}})
+    assert query.solver_kwargs()["labels"] == query.constraints
+    assert "g:" in query.describe()
+    assert InfluentialQuery(k=4, r=2).solver_kwargs()["labels"] is None
+
+
+def test_constrained_query_pickles():
+    import pickle
+
+    query = InfluentialQuery(k=4, r=2, constraints={"labels": ["a", "b"]})
+    clone = pickle.loads(pickle.dumps(query))
+    assert clone == query and clone.cache_key() == query.cache_key()
+
+
+def test_wire_dict_round_trips_through_create():
+    import json
+
+    queries = [
+        InfluentialQuery(k=4, r=2),
+        InfluentialQuery(k=4, r=2, constraints={"labels": {"prefix": "g:"}}),
+        InfluentialQuery(k=3, r=1, f="sum-surplus(1.5)", eps=0.25),
+        InfluentialQuery(k=2, r=2, non_overlapping=True, constraints={"labels": "x"}),
+    ]
+    for query in queries:
+        body = json.loads(json.dumps(query.wire_dict()))  # JSON-able
+        clone = InfluentialQuery.create(body)
+        assert clone.cache_key() == query.cache_key()
+    assert "constraints" not in InfluentialQuery(k=4, r=2).wire_dict()

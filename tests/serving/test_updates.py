@@ -275,7 +275,7 @@ def test_update_edges_http_error_paths(served, payload, fragment):
     service, app, base_url = served
     status, body = post(base_url, "/update-edges", payload)
     assert status == 400
-    assert fragment in body["error"]
+    assert fragment in body["error"]["detail"]
     # A rejected batch costs nothing: no epoch bump, no graph change.
     assert app._epoch == 0
     assert service.graph.m == 16

@@ -1,0 +1,64 @@
+"""Regenerate benchmarks/data/snap_collab_fixture.txt.
+
+A small SNAP-style collaboration network: three planted dense blocks over
+a sparse background, written with scrambled non-dense vertex ids and the
+format warts real SNAP downloads carry (comment lines, a duplicate edge,
+a mirrored edge, a self-loop).  Deterministic: rerunning this script
+reproduces the checked-in file byte for byte.
+
+Usage: PYTHONPATH=src python tools/make_snap_fixture.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+OUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "data"
+    / "snap_collab_fixture.txt"
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = 72
+    blocks = [list(range(0, 9)), list(range(9, 17)), list(range(17, 24))]
+    edges = set()
+    for block in blocks:
+        for i, u in enumerate(block):
+            for v in block[i + 1 :]:
+                if rng.random() < 0.9:
+                    edges.add((u, v))
+    for u in range(24, n):
+        for v in rng.choice(n, size=2, replace=False):
+            v = int(v)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    for b, block in enumerate(blocks):
+        edges.add((block[0], 24 + b))
+
+    # Scramble to non-dense ids like a real dataset.
+    scramble = {v: 1000 + 7 * v + (v % 3) * 1001 for v in range(n)}
+    lines = [
+        "# Synthetic collaboration network (fixture)",
+        "# FromNodeId\tToNodeId",
+    ]
+    edge_list = sorted(edges)
+    rng.shuffle(edge_list)
+    for u, v in edge_list:
+        lines.append(f"{scramble[u]}\t{scramble[v]}")
+    # Format warts: a duplicate, a mirrored edge, a self-loop.
+    u0, v0 = edge_list[0]
+    lines.append(f"{scramble[u0]}\t{scramble[v0]}")
+    lines.append(f"{scramble[v0]}\t{scramble[u0]}")
+    lines.append(f"{scramble[3]}\t{scramble[3]}")
+    OUT.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {OUT} ({len(edge_list)} edges, {n} vertices)")
+
+
+if __name__ == "__main__":
+    main()
